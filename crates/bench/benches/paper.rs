@@ -1,0 +1,29 @@
+//! One Criterion group per paper table/figure: each benchmark regenerates
+//! the artifact (quick resolution) end-to-end, so `cargo bench` doubles as
+//! a timed re-run of the whole evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lt_experiments::{registry, Ctx};
+use std::time::Duration;
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx = Ctx::quick_temp();
+    for e in registry() {
+        let mut group = c.benchmark_group(e.id);
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        group.bench_function("regenerate", |b| {
+            b.iter(|| {
+                let report = (e.run)(&ctx);
+                assert!(!report.is_empty());
+                report.len()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(paper, bench_experiments);
+criterion_main!(paper);

@@ -1,0 +1,148 @@
+//! Simulator micro-benchmarks: events-per-second of the two engines, and
+//! the cost of the machine variants the direct simulator adds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lt_core::prelude::*;
+use lt_qnsim::MmsOptions;
+use lt_stpn::mms::SimSettings;
+use std::time::Duration;
+
+const HORIZON: f64 = 3_000.0;
+
+fn bench_stpn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stpn-sim");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for p_remote in [0.2, 0.8] {
+        let cfg = SystemConfig::paper_default().with_p_remote(p_remote);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{}", (p_remote * 10.0) as u32)),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    lt_stpn::mms::simulate(
+                        cfg,
+                        &SimSettings {
+                            horizon: HORIZON,
+                            warmup: HORIZON / 10.0,
+                            batches: 2,
+                            seed: 1,
+                            ..SimSettings::default()
+                        },
+                    )
+                    .u_p
+                    .mean
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_qnsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct-sim");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+    let variants: [(&str, MmsOptions); 3] = [
+        (
+            "baseline",
+            MmsOptions {
+                horizon: HORIZON,
+                warmup: HORIZON / 10.0,
+                batches: 2,
+                seed: 1,
+                ..MmsOptions::default()
+            },
+        ),
+        (
+            "local-priority",
+            MmsOptions {
+                horizon: HORIZON,
+                warmup: HORIZON / 10.0,
+                batches: 2,
+                seed: 1,
+                local_priority_memory: true,
+                ..MmsOptions::default()
+            },
+        ),
+        (
+            "finite-buffers",
+            MmsOptions {
+                horizon: HORIZON,
+                warmup: HORIZON / 10.0,
+                batches: 2,
+                seed: 1,
+                switch_buffer: Some(32),
+                ..MmsOptions::default()
+            },
+        ),
+    ];
+    for (name, opts) in &variants {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), opts, |b, opts| {
+            b.iter(|| lt_qnsim::simulate(&cfg, opts).u_p.mean)
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_mode(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+    let trace = lt_qnsim::TraceWorkload::synthesize(&cfg, 10_000, 3);
+    let opts = MmsOptions {
+        horizon: HORIZON,
+        warmup: HORIZON / 10.0,
+        batches: 2,
+        seed: 1,
+        ..MmsOptions::default()
+    };
+    let mut group = c.benchmark_group("trace-sim");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("synthesized-trace", |b| {
+        b.iter(|| lt_qnsim::simulate_trace(&cfg, &opts, &trace).u_p.mean)
+    });
+    group.bench_function("trace-generation", |b| {
+        b.iter(|| lt_qnsim::TraceWorkload::synthesize(&cfg, 10_000, 3).remote_fraction())
+    });
+    group.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    use lt_desim::{EventQueue, SimRng};
+    let mut group = c.benchmark_group("desim-kernel");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("event-queue-100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(7);
+            for i in 0..100_000u32 {
+                q.schedule_in(rng.exponential(1.0), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc += v as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("exponential-1m", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(9);
+            (0..1_000_000).map(|_| rng.exponential(2.0)).sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    simulators,
+    bench_stpn,
+    bench_qnsim,
+    bench_trace_mode,
+    bench_kernel
+);
+criterion_main!(simulators);

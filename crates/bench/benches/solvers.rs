@@ -1,0 +1,118 @@
+//! Solver micro-benchmarks: network construction and the four MVA
+//! solvers across machine sizes and populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lt_core::analysis::{solve_network, SolverChoice};
+use lt_core::prelude::*;
+use lt_core::qn::build::build_network;
+use lt_core::topology::Topology;
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build-network");
+    group.measurement_time(Duration::from_secs(2));
+    for k in [4usize, 8, 10] {
+        let cfg = SystemConfig::paper_default().with_topology(Topology::torus(k));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}")),
+            &cfg,
+            |b, cfg| b.iter(|| build_network(cfg).unwrap().net.n_stations()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_solvers_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver-scaling");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for k in [4usize, 8, 10] {
+        let cfg = SystemConfig::paper_default().with_topology(Topology::torus(k));
+        let mms = build_network(&cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("symmetric-amva", format!("k{k}")),
+            &mms,
+            |b, mms| {
+                b.iter(|| {
+                    solve_network(mms, SolverChoice::SymmetricAmva)
+                        .unwrap()
+                        .iterations
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general-amva", format!("k{k}")),
+            &mms,
+            |b, mms| b.iter(|| solve_network(mms, SolverChoice::Amva).unwrap().iterations),
+        );
+    }
+    group.finish();
+}
+
+fn bench_solver_accuracy_tier(c: &mut Criterion) {
+    // Exact vs approximations on a small instance where all run.
+    let cfg = SystemConfig::paper_default()
+        .with_topology(Topology::torus(2))
+        .with_n_threads(4)
+        .with_p_remote(0.5);
+    let mms = build_network(&cfg).unwrap();
+    let mut group = c.benchmark_group("solver-tier-2x2");
+    group.measurement_time(Duration::from_secs(2));
+    for (name, choice) in [
+        ("exact", SolverChoice::Exact),
+        ("amva", SolverChoice::Amva),
+        ("linearizer", SolverChoice::Linearizer),
+        ("symmetric", SolverChoice::SymmetricAmva),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| solve_network(&mms, choice).unwrap().throughput[0])
+        });
+    }
+    group.finish();
+}
+
+fn bench_priority_heuristic(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+    let mms = build_network(&cfg).unwrap();
+    let mut group = c.benchmark_group("priority-amva");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("shadow-server", |b| {
+        b.iter(|| lt_core::mva::priority::solve(&mms).unwrap().throughput[0])
+    });
+    group.bench_function("plain-amva-baseline", |b| {
+        b.iter(|| solve_network(&mms, SolverChoice::Amva).unwrap().throughput[0])
+    });
+    group.finish();
+}
+
+fn bench_tolerance_index(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("tolerance-index");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("network", |b| {
+        b.iter(|| {
+            tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)
+                .unwrap()
+                .index
+        })
+    });
+    group.bench_function("memory", |b| {
+        b.iter(|| {
+            tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay)
+                .unwrap()
+                .index
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    solvers,
+    bench_build,
+    bench_solvers_scaling,
+    bench_solver_accuracy_tier,
+    bench_priority_heuristic,
+    bench_tolerance_index
+);
+criterion_main!(solvers);

@@ -1,0 +1,133 @@
+//! High-level solve entry points tying together network construction,
+//! solver selection, and metric extraction.
+
+use crate::error::Result;
+use crate::metrics::{report, PerformanceReport};
+use crate::mva::{amva, exact, linearizer, priority, symmetric, MvaSolution, SolverOptions};
+use crate::params::SystemConfig;
+use crate::qn::build::{build_network, MmsNetwork};
+
+/// Which solver to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// Symmetric AMVA on vertex-transitive topologies, general AMVA
+    /// otherwise.
+    #[default]
+    Auto,
+    /// The `O(M)`-per-iteration symmetric Bard–Schweitzer
+    /// (torus only).
+    SymmetricAmva,
+    /// General multi-class Bard–Schweitzer (the paper's Figure 3).
+    Amva,
+    /// Chandy–Neuse Linearizer.
+    Linearizer,
+    /// Exact multi-class MVA (small populations only).
+    Exact,
+}
+
+/// Solve an already-built MMS network with the chosen solver.
+pub fn solve_network(mms: &MmsNetwork, choice: SolverChoice) -> Result<MvaSolution> {
+    solve_network_with(mms, choice, SolverOptions::default())
+}
+
+/// [`solve_network`] with explicit convergence controls.
+pub fn solve_network_with(
+    mms: &MmsNetwork,
+    choice: SolverChoice,
+    opts: SolverOptions,
+) -> Result<MvaSolution> {
+    match choice {
+        SolverChoice::Auto => {
+            if mms.is_symmetric() {
+                symmetric::solve_with(mms, opts)
+            } else {
+                amva::solve_with(&mms.net, opts)
+            }
+        }
+        SolverChoice::SymmetricAmva => symmetric::solve_with(mms, opts),
+        SolverChoice::Amva => amva::solve_with(&mms.net, opts),
+        SolverChoice::Linearizer => linearizer::solve_with(&mms.net, opts),
+        SolverChoice::Exact => exact::solve(&mms.net),
+    }
+}
+
+/// Build, solve (auto solver), and extract the paper's measures.
+pub fn solve(cfg: &SystemConfig) -> Result<PerformanceReport> {
+    solve_with(cfg, SolverChoice::Auto)
+}
+
+/// [`solve`] with an explicit solver choice.
+pub fn solve_with(cfg: &SystemConfig, choice: SolverChoice) -> Result<PerformanceReport> {
+    let mms = build_network(cfg)?;
+    let sol = solve_network(&mms, choice)?;
+    Ok(report(&mms, &sol))
+}
+
+/// Solve a machine whose memory modules serve local accesses with priority
+/// (EM-4 style) — the shadow-server heuristic of [`crate::mva::priority`].
+/// This models a *different machine* than [`solve`], not a different
+/// solver, hence the separate entry point.
+pub fn solve_priority(cfg: &SystemConfig) -> Result<PerformanceReport> {
+    let mms = build_network(cfg)?;
+    let sol = priority::solve(&mms)?;
+    Ok(report(&mms, &sol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn auto_matches_explicit_symmetric_on_torus() {
+        let cfg = SystemConfig::paper_default();
+        let a = solve_with(&cfg, SolverChoice::Auto).unwrap();
+        let s = solve_with(&cfg, SolverChoice::SymmetricAmva).unwrap();
+        assert_eq!(a.u_p, s.u_p);
+    }
+
+    #[test]
+    fn auto_falls_back_to_general_on_mesh() {
+        let cfg = SystemConfig::paper_default().with_topology(Topology::mesh(3));
+        let rep = solve(&cfg).unwrap();
+        assert!(rep.u_p > 0.0 && rep.u_p <= 1.0);
+    }
+
+    #[test]
+    fn solvers_agree_on_small_system() {
+        // 2x2 torus, 2 threads: exact MVA is affordable (3^4 = 81 states),
+        // and the approximations should be within a few percent.
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(2))
+            .with_n_threads(2)
+            .with_p_remote(0.5);
+        let e = solve_with(&cfg, SolverChoice::Exact).unwrap().u_p;
+        for choice in [
+            SolverChoice::Amva,
+            SolverChoice::SymmetricAmva,
+            SolverChoice::Linearizer,
+        ] {
+            let u = solve_with(&cfg, choice).unwrap().u_p;
+            let rel = (u - e).abs() / e;
+            assert!(rel < 0.05, "{choice:?}: U_p {u} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn linearizer_at_least_as_accurate_as_amva_on_mms() {
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(2))
+            .with_n_threads(3)
+            .with_p_remote(0.4);
+        let e = solve_with(&cfg, SolverChoice::Exact).unwrap().u_p;
+        let a = solve_with(&cfg, SolverChoice::Amva).unwrap().u_p;
+        let l = solve_with(&cfg, SolverChoice::Linearizer).unwrap().u_p;
+        assert!((l - e).abs() <= (a - e).abs() + 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let cfg = SystemConfig::paper_default().with_p_remote(2.0);
+        assert!(solve(&cfg).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Closed-form bottleneck analysis (paper Equations 4 and 5).
+//!
+//! The paper explains every qualitative feature of its surfaces with two
+//! asymptotic arguments:
+//!
+//! * **Equation 4** — network saturation. Each remote access consumes
+//!   `2·d_avg` inbound-switch services of `S` time units, so a processor can
+//!   receive responses at most at rate `λ_net,sat = 1/(2·d_avg·S)`.
+//! * **Equation 5** — the critical remote fraction. The processor stays
+//!   busy while its access rate `1/R` is below the combined response rate of
+//!   the local memory (`(1−p)/L`) and the network round trip
+//!   (`p / (2(d_avg+1)S)`). Solving the equality for `p` yields the knee
+//!   `p_remote` beyond which `U_p` starts dropping.
+//!
+//! [`analyze`] additionally computes per-subsystem throughput ceilings from
+//! the actual visit ratios (which agree with Equation 4 — see the tests).
+
+use crate::error::Result;
+use crate::params::SystemConfig;
+use crate::qn::build::{build_network, StationKind};
+
+/// Throughput ceiling imposed by one subsystem kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsystemLimit {
+    /// Maximum sustainable class cycle rate `λ_i` before this subsystem
+    /// kind saturates (`f64::INFINITY` if it is never visited or has zero
+    /// service time).
+    pub lambda_max: f64,
+    /// Corresponding upper bound on `U_p = λ·R`.
+    pub u_p_bound: f64,
+}
+
+/// The bottleneck analysis of one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckReport {
+    /// Average remote-access distance (class 0).
+    pub d_avg: f64,
+    /// Equation 4: `1/(2·d_avg·S)`; `None` when `S = 0` or `p_remote = 0`
+    /// (the network can then never saturate).
+    pub lambda_net_saturation: Option<f64>,
+    /// Equation 5: the critical `p_remote`, clamped to `[0, 1]`; `None`
+    /// when the subsystems outpace the processor for every `p_remote`.
+    pub critical_p_remote: Option<f64>,
+    /// Ceiling from the processor itself: `1/(R + C)`.
+    pub processor_limit: SubsystemLimit,
+    /// Ceiling from the memory modules.
+    pub memory_limit: SubsystemLimit,
+    /// Ceiling from the inbound switches.
+    pub in_switch_limit: SubsystemLimit,
+    /// Ceiling from the outbound switches.
+    pub out_switch_limit: SubsystemLimit,
+    /// The binding (smallest) `U_p` upper bound over all subsystems,
+    /// additionally clamped to 1.
+    pub u_p_upper_bound: f64,
+    /// Name of the binding subsystem kind
+    /// (`"processor" | "memory" | "in-switch" | "out-switch"`).
+    pub binding: &'static str,
+}
+
+/// Equation 4 in isolation.
+pub fn lambda_net_saturation(d_avg: f64, switch_delay: f64) -> Option<f64> {
+    if switch_delay > 0.0 && d_avg > 0.0 {
+        Some(1.0 / (2.0 * d_avg * switch_delay))
+    } else {
+        None
+    }
+}
+
+/// Equation 5 in isolation: the `p` solving
+/// `(1−p)/L + p/(2(d_avg+1)S) = 1/R`, clamped to `[0, 1]`.
+///
+/// Returns `None` when the combined response rate exceeds `1/R` for every
+/// `p ∈ [0, 1]` (no knee: the processor can always stay busy).
+pub fn critical_p_remote(runlength: f64, l: f64, s: f64, d_avg: f64) -> Option<f64> {
+    let target = 1.0 / runlength;
+    // Response rates of the two paths; zero delay means infinite rate.
+    let a = if l > 0.0 { 1.0 / l } else { f64::INFINITY };
+    let b = if s > 0.0 {
+        1.0 / (2.0 * (d_avg + 1.0) * s)
+    } else {
+        f64::INFINITY
+    };
+    if a.is_infinite() && b.is_infinite() {
+        return None;
+    }
+    if a.is_infinite() {
+        // Zero-delay memory: the local path always keeps up; the condition
+        // can only fail in the all-remote limit.
+        return if b >= target { None } else { Some(1.0) };
+    }
+    if a <= target {
+        // Even a fully local workload cannot keep the processor busy.
+        return Some(0.0);
+    }
+    if b >= target {
+        // rate(1) = b already suffices: the subsystems outpace the
+        // processor at every p (rate is monotone between a and b).
+        return None;
+    }
+    // rate(p) = (1-p)a + pb is affine; solve rate(p) = target.
+    Some(((target - a) / (b - a)).clamp(0.0, 1.0))
+}
+
+/// Full bottleneck analysis of a configuration.
+pub fn analyze(cfg: &SystemConfig) -> Result<BottleneckReport> {
+    let mms = build_network(cfg)?;
+    let r = cfg.workload.runlength;
+    let m = mms.net.n_stations();
+    let classes = mms.net.n_classes();
+
+    // λ_max per station: utilization per unit class rate is
+    // Σ_i e[i][st] · s_st (all classes share the rate under the SPMD
+    // assumption; on a mesh this is the balanced-rate approximation).
+    let mut worst = [f64::INFINITY; 4]; // proc, mem, in, out
+    for st in 0..m {
+        let s = mms.net.stations[st].service;
+        if s == 0.0 {
+            continue;
+        }
+        let slot = match mms.idx.kind(st) {
+            StationKind::Processor(_) => 0,
+            StationKind::Memory(_) => 1,
+            StationKind::InSwitch(_) => 2,
+            StationKind::OutSwitch(_) => 3,
+            StationKind::MemoryDelay(_) => continue, // infinite servers
+        };
+        let demand_per_rate: f64 = (0..classes).map(|i| mms.net.visits[i][st] * s).sum();
+        if demand_per_rate > 0.0 {
+            worst[slot] = worst[slot].min(1.0 / demand_per_rate);
+        }
+    }
+    let limit = |lambda_max: f64| SubsystemLimit {
+        lambda_max,
+        u_p_bound: if lambda_max.is_finite() {
+            lambda_max * r
+        } else {
+            f64::INFINITY
+        },
+    };
+    let limits = [
+        ("processor", limit(worst[0])),
+        ("memory", limit(worst[1])),
+        ("in-switch", limit(worst[2])),
+        ("out-switch", limit(worst[3])),
+    ];
+    let (binding, tightest) = limits
+        .iter()
+        .min_by(|a, b| a.1.u_p_bound.total_cmp(&b.1.u_p_bound))
+        .copied()
+        .expect("four subsystems");
+
+    let d_avg = mms.d_avg[0];
+    Ok(BottleneckReport {
+        d_avg,
+        lambda_net_saturation: if cfg.workload.p_remote > 0.0 {
+            lambda_net_saturation(d_avg, cfg.arch.switch_delay)
+        } else {
+            None
+        },
+        critical_p_remote: critical_p_remote(
+            r,
+            cfg.arch.memory_latency,
+            cfg.arch.switch_delay,
+            d_avg,
+        ),
+        processor_limit: limits[0].1,
+        memory_limit: limits[1].1,
+        in_switch_limit: limits[2].1,
+        out_switch_limit: limits[3].1,
+        u_p_upper_bound: tightest.u_p_bound.min(1.0),
+        binding,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::solve;
+    use crate::params::SystemConfig;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn equation4_paper_value() {
+        // p_sw = 0.5, S = 1 -> d_avg = 1.733 -> λ_net,sat = 0.2885 ≈ 0.29.
+        let sat = lambda_net_saturation(1.7333333333, 1.0).unwrap();
+        assert_close(sat, 0.28846, 1e-4);
+    }
+
+    #[test]
+    fn equation4_matches_visit_ratio_limit() {
+        // The inbound-switch throughput ceiling derived from the actual
+        // visit ratios must reproduce Equation 4:
+        // λ_max(in-switch) · p_remote = 1/(2 d_avg S).
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let rep = analyze(&cfg).unwrap();
+        let from_visits = rep.in_switch_limit.lambda_max * 0.5;
+        assert_close(from_visits, rep.lambda_net_saturation.unwrap(), 1e-9);
+    }
+
+    #[test]
+    fn equation5_paper_value_r2() {
+        // R = 2, L = 1, S = 1, d_avg = 1.733: p* = (1 - 0.5)/(1 - 0.1829)
+        //  = 0.612 — the knee the paper reports for R = 2.
+        let p = critical_p_remote(2.0, 1.0, 1.0, 1.7333333333).unwrap();
+        assert_close(p, 0.6119, 1e-3);
+    }
+
+    #[test]
+    fn equation5_r1_knee_at_zero() {
+        // R = L = 1: the local memory alone exactly matches the processor,
+        // so any remote traffic makes responses lag: p* = 0.
+        let p = critical_p_remote(1.0, 1.0, 1.0, 1.7333333333).unwrap();
+        assert_close(p, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn equation5_none_when_processor_is_slow() {
+        // R = 100: the subsystems always keep up.
+        assert_eq!(critical_p_remote(100.0, 1.0, 1.0, 1.733), None);
+    }
+
+    #[test]
+    fn equation5_zero_delays() {
+        // L = 0: the local path always keeps up; the condition only fails
+        // in the all-remote limit (network rate 0.18 < 1/R = 1).
+        assert_eq!(critical_p_remote(1.0, 0.0, 1.0, 1.733), Some(1.0));
+        // L = 0 and a slow processor: never fails.
+        assert_eq!(critical_p_remote(100.0, 0.0, 1.0, 1.733), None);
+        // L = 2 > R = 1: even all-local cannot keep up -> knee at 0.
+        assert_eq!(critical_p_remote(1.0, 2.0, 0.0, 1.733), Some(0.0));
+        // Both ideal: no constraint at all.
+        assert_eq!(critical_p_remote(1.0, 0.0, 0.0, 1.733), None);
+    }
+
+    #[test]
+    fn u_p_upper_bound_holds_for_solved_system() {
+        for p_remote in [0.1, 0.3, 0.6, 0.9] {
+            let cfg = SystemConfig::paper_default().with_p_remote(p_remote);
+            let bound = analyze(&cfg).unwrap().u_p_upper_bound;
+            let u_p = solve(&cfg).unwrap().u_p;
+            assert!(
+                u_p <= bound + 1e-6,
+                "p_remote={p_remote}: U_p {u_p} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn binding_subsystem_shifts_with_p_remote() {
+        // At tiny p_remote the memory (L = R) binds; at large p_remote the
+        // inbound switches bind.
+        let low = analyze(&SystemConfig::paper_default().with_p_remote(0.05)).unwrap();
+        let high = analyze(&SystemConfig::paper_default().with_p_remote(0.9)).unwrap();
+        assert_ne!(low.binding, "in-switch");
+        assert_eq!(high.binding, "in-switch");
+    }
+
+    #[test]
+    fn lambda_net_saturation_none_without_network() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.0);
+        assert_eq!(analyze(&cfg).unwrap().lambda_net_saturation, None);
+        let cfg = SystemConfig::paper_default().with_switch_delay(0.0);
+        assert_eq!(analyze(&cfg).unwrap().lambda_net_saturation, None);
+    }
+}

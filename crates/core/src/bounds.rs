@@ -1,0 +1,271 @@
+//! Classical throughput bounds for closed networks.
+//!
+//! The paper explains its surfaces with one-line bottleneck arguments
+//! (Equations 4–5). This module provides the systematic versions for
+//! single-class networks:
+//!
+//! * **Asymptotic bounds (ABA)** — from the no-queueing optimistic limit
+//!   and the bottleneck ceiling:
+//!   `n/(n·D + Z) ≤ X(n) ≤ min(n/(D + Z), 1/D_max)`.
+//! * **Balanced job bounds (BJB)** (Zahorjan et al.) — the tighter pair
+//!   obtained by comparing against the best/worst network with the same
+//!   total and maximum demand (`Z = 0` form):
+//!   `n/(D + (n−1)·D_max) ≤ X(n) ≤ min(1/D_max, n/(D + (n−1)·D/M))`.
+//!
+//! For the MMS these bounds are applied to a class's *isolated* demand
+//! vector ([`mms_isolation_bounds`]): the machine as one processor's
+//! threads would see it with no cross traffic. The isolated upper bound is
+//! exact at `p_remote = 0` and empirically bounds the contended system
+//! elsewhere (Suri's multi-class non-monotonicity caveat applies in
+//! principle; the property tests probe it).
+
+use crate::error::{LtError, Result};
+use crate::params::SystemConfig;
+use crate::qn::build::build_network;
+use crate::qn::Discipline;
+
+/// A throughput interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputBounds {
+    /// Guaranteed lower bound on `X(n)`.
+    pub lower: f64,
+    /// Guaranteed upper bound on `X(n)`.
+    pub upper: f64,
+}
+
+impl ThroughputBounds {
+    /// Whether a value lies inside (with slack for float noise).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lower - 1e-9 && x <= self.upper + 1e-9
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+fn demand_summary(demands: &[f64]) -> Result<(f64, f64, usize)> {
+    if demands.is_empty() {
+        return Err(LtError::InvalidConfig(
+            "bounds need at least one queueing demand".into(),
+        ));
+    }
+    if demands.iter().any(|d| !d.is_finite() || *d < 0.0) {
+        return Err(LtError::InvalidConfig(
+            "demands must be finite and non-negative".into(),
+        ));
+    }
+    let total: f64 = demands.iter().sum();
+    let max = demands.iter().copied().fold(0.0, f64::max);
+    let busy = demands.iter().filter(|d| **d > 0.0).count();
+    Ok((total, max, busy))
+}
+
+/// Asymptotic bounds for a single-class network with queueing `demands`,
+/// think time `think ≥ 0`, and population `n ≥ 1`.
+pub fn asymptotic_bounds(demands: &[f64], think: f64, n: usize) -> Result<ThroughputBounds> {
+    if n == 0 {
+        return Err(LtError::InvalidConfig("population must be >= 1".into()));
+    }
+    if !think.is_finite() || think < 0.0 {
+        return Err(LtError::InvalidConfig("think time must be >= 0".into()));
+    }
+    let (d, d_max, _) = demand_summary(demands)?;
+    let nf = n as f64;
+    if d + think == 0.0 {
+        return Ok(ThroughputBounds {
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+        });
+    }
+    let upper_opt = nf / (d + think);
+    let upper_bottleneck = if d_max > 0.0 {
+        1.0 / d_max
+    } else {
+        f64::INFINITY
+    };
+    Ok(ThroughputBounds {
+        lower: nf / (nf * d + think),
+        upper: upper_opt.min(upper_bottleneck),
+    })
+}
+
+/// Balanced job bounds (`Z = 0`) for a single-class network.
+pub fn balanced_bounds(demands: &[f64], n: usize) -> Result<ThroughputBounds> {
+    if n == 0 {
+        return Err(LtError::InvalidConfig("population must be >= 1".into()));
+    }
+    let (d, d_max, busy) = demand_summary(demands)?;
+    let nf = n as f64;
+    if d == 0.0 {
+        return Ok(ThroughputBounds {
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+        });
+    }
+    let d_avg = d / busy as f64;
+    Ok(ThroughputBounds {
+        lower: nf / (d + (nf - 1.0) * d_max),
+        upper: (nf / (d + (nf - 1.0) * d_avg)).min(1.0 / d_max),
+    })
+}
+
+/// `U_p` bounds for the MMS.
+///
+/// * **Upper** — from one class's **isolated** demand vector (class-0
+///   visit-ratio-weighted service times), tightened by ABA and BJB: cross
+///   traffic can only add queueing, so the isolated optimum bounds the
+///   contended machine from above (exact at `p_remote = 0`).
+/// * **Lower** — contention-aware pessimism: at every station at most
+///   `N_total − 1` other customers (from *all* classes) can be ahead, so
+///   one cycle takes at most `N_total · D` and
+///   `U_p ≥ n_t · R / (N_total · D + Z)`.
+pub fn mms_isolation_bounds(cfg: &SystemConfig) -> Result<ThroughputBounds> {
+    let mms = build_network(cfg)?;
+    let mut demands = Vec::new();
+    let mut think = 0.0;
+    for st in 0..mms.net.n_stations() {
+        let d = mms.net.demand(0, st);
+        if d == 0.0 {
+            continue;
+        }
+        match mms.net.stations[st].discipline {
+            Discipline::Queueing => demands.push(d),
+            Discipline::Delay => think += d,
+        }
+    }
+    let n = cfg.workload.n_threads;
+    let aba = asymptotic_bounds(&demands, think, n)?;
+    let r = cfg.workload.runlength;
+    let upper = if think == 0.0 {
+        aba.upper.min(balanced_bounds(&demands, n)?.upper)
+    } else {
+        aba.upper
+    };
+
+    // Pessimistic contended lower bound over the total population.
+    let d_total: f64 = demands.iter().sum();
+    let n_total = mms.net.total_population() as f64;
+    let lower = if d_total + think > 0.0 {
+        n as f64 / (n_total * d_total + think)
+    } else {
+        f64::INFINITY
+    };
+    Ok(ThroughputBounds {
+        lower: lower * r,
+        upper: upper * r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::exact;
+    use crate::qn::{ClosedNetwork, Station};
+
+    fn exact_x(demands: &[f64], n: usize) -> f64 {
+        let net = ClosedNetwork {
+            stations: demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Station::queueing(format!("s{i}"), d))
+                .collect(),
+            populations: vec![n],
+            visits: vec![vec![1.0; demands.len()]],
+        };
+        exact::solve(&net).unwrap().throughput[0]
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_throughput() {
+        for demands in [vec![1.0, 2.0], vec![0.5, 0.5, 3.0], vec![1.0; 5]] {
+            for n in [1usize, 2, 5, 20] {
+                let x = exact_x(&demands, n);
+                let aba = asymptotic_bounds(&demands, 0.0, n).unwrap();
+                let bjb = balanced_bounds(&demands, n).unwrap();
+                assert!(aba.contains(x), "ABA {aba:?} misses {x} (n={n})");
+                assert!(bjb.contains(x), "BJB {bjb:?} misses {x} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn bjb_tighter_than_aba() {
+        let demands = vec![1.0, 2.0, 0.5];
+        for n in [3usize, 8, 15] {
+            let aba = asymptotic_bounds(&demands, 0.0, n).unwrap();
+            let bjb = balanced_bounds(&demands, n).unwrap();
+            assert!(bjb.lower >= aba.lower - 1e-12);
+            assert!(bjb.upper <= aba.upper + 1e-12);
+            assert!(bjb.width() < aba.width() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn balanced_network_makes_bjb_exact() {
+        // On a perfectly balanced network both BJB bounds coincide with
+        // the exact throughput n/(D + (n-1)·D/M).
+        let demands = vec![2.0; 4];
+        for n in [1usize, 4, 9] {
+            let x = exact_x(&demands, n);
+            let bjb = balanced_bounds(&demands, n).unwrap();
+            assert!((bjb.lower - x).abs() < 1e-9, "{bjb:?} vs {x}");
+            assert!((bjb.upper - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_customer_bounds_collapse() {
+        // n = 1: X = 1/(D + Z) exactly; ABA must pinch.
+        let demands = vec![1.0, 2.0];
+        let aba = asymptotic_bounds(&demands, 3.0, 1).unwrap();
+        assert!((aba.lower - 1.0 / 6.0).abs() < 1e-12);
+        assert!((aba.upper - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn think_time_raises_lower_bound_sensibly() {
+        let demands = vec![1.0];
+        let aba = asymptotic_bounds(&demands, 4.0, 3).unwrap();
+        // cycle at worst: 3*1 + 4 = 7 -> X >= 3/7; at best 1/D_max = 1.
+        assert!((aba.lower - 3.0 / 7.0).abs() < 1e-12);
+        assert!((aba.upper - 0.6).abs() < 1e-12, "3/(1+4) = 0.6 < 1/D_max");
+    }
+
+    #[test]
+    fn isolation_bounds_hold_for_local_workloads() {
+        // p_remote = 0: the isolated network IS the real per-class network,
+        // so the bounds must contain the solved U_p exactly.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.0);
+        let b = mms_isolation_bounds(&cfg).unwrap();
+        let u_p = crate::analysis::solve(&cfg).unwrap().u_p;
+        assert!(b.contains(u_p), "{b:?} misses U_p {u_p}");
+    }
+
+    #[test]
+    fn mms_bounds_sandwich_solved_u_p_under_contention() {
+        for p_remote in [0.2, 0.5, 0.8] {
+            for n_t in [1usize, 4, 12] {
+                let cfg = SystemConfig::paper_default()
+                    .with_p_remote(p_remote)
+                    .with_n_threads(n_t);
+                let b = mms_isolation_bounds(&cfg).unwrap();
+                let u_p = crate::analysis::solve(&cfg).unwrap().u_p;
+                assert!(
+                    b.contains(u_p),
+                    "p={p_remote} n_t={n_t}: U_p {u_p} outside {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(asymptotic_bounds(&[], 0.0, 1).is_err());
+        assert!(asymptotic_bounds(&[1.0], 0.0, 0).is_err());
+        assert!(asymptotic_bounds(&[-1.0], 0.0, 1).is_err());
+        assert!(asymptotic_bounds(&[1.0], f64::NAN, 1).is_err());
+        assert!(balanced_bounds(&[f64::INFINITY], 1).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared across the analytical framework.
+
+use std::fmt;
+
+/// Errors produced while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LtError {
+    /// A parameter failed validation (message explains which and why).
+    InvalidConfig(String),
+    /// An iterative solver did not reach its convergence tolerance.
+    NoConvergence {
+        /// Solver name ("amva", "linearizer", ...).
+        solver: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// The exact solver was asked for a state space beyond its budget.
+    ProblemTooLarge {
+        /// Estimated number of population vectors required.
+        states: u128,
+        /// The configured ceiling.
+        limit: u128,
+    },
+    /// A request that makes no sense for the given model
+    /// (e.g. network latency of a system with `p_remote = 0`).
+    Unsupported(String),
+}
+
+impl fmt::Display for LtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LtError::NoConvergence {
+                solver,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{solver} did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            LtError::ProblemTooLarge { states, limit } => write!(
+                f,
+                "exact MVA state space too large: {states} population vectors (limit {limit})"
+            ),
+            LtError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LtError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LtError>;

@@ -1,0 +1,96 @@
+//! # lt-core — the analytical framework of Nemawarkar & Gao (IPPS 1997)
+//!
+//! This crate implements the paper's primary contribution: a closed
+//! queueing-network (CQN) model of a **multithreaded multiprocessor system
+//! (MMS)** together with the **tolerance index**, a metric that quantifies
+//! how close the performance of a system is to that of an *ideal* system in
+//! which one subsystem (network or memory) has zero delay.
+//!
+//! ## The modeled machine
+//!
+//! `P = k × k` processing elements (PEs) are connected by a 2-dimensional
+//! torus. Each PE holds a multithreaded processor running `n_t` threads of
+//! mean runlength `R`, a module of the distributed shared memory (access
+//! time `L`), and an inbound/outbound pair of network switches (routing
+//! delay `S`). A thread computes for `R` time units, issues a memory access
+//! (remote with probability `p_remote`, destination drawn from a geometric
+//! or uniform pattern), and the processor context-switches to another ready
+//! thread while the access is outstanding.
+//!
+//! ## What the crate provides
+//!
+//! * [`params`] — workload ([`WorkloadParams`]) and architecture
+//!   ([`ArchParams`]) parameters, combined in a validated [`SystemConfig`].
+//! * [`topology`] — the 2-D torus (and a mesh extension): distances,
+//!   dimension-ordered routing, translation symmetry.
+//! * [`workload`] — remote-access patterns and average hop distance
+//!   `d_avg` (the paper's geometric distribution with locality `p_sw`).
+//! * [`qn`] — construction of the multi-class closed queueing network
+//!   (one class per processor, `4P` stations) with the paper's visit
+//!   ratios `em`, `ei`, `eo`.
+//! * [`mva`] — solvers: exact multi-class MVA, the paper's approximate MVA
+//!   (Bard–Schweitzer, the algorithm of the paper's Figure 3), the
+//!   Linearizer refinement, and an `O(M)`-per-iteration symmetric solver
+//!   exploiting the SPMD translation symmetry.
+//! * [`metrics`] — derived measures: processor utilization `U_p`, observed
+//!   network latency `S_obs`, observed memory latency `L_obs`, and the
+//!   network message rate `λ_net` (paper Equations 1–3).
+//! * [`tolerance`] — the tolerance index (Definitions 4.1–4.3) and its
+//!   tolerated / partially-tolerated / not-tolerated zones.
+//! * [`bottleneck`] — closed-form saturation analysis: Equation 4
+//!   (`λ_net,sat = 1/(2·d_avg·S)`) and Equation 5 (critical `p_remote`).
+//! * [`bounds`] — asymptotic and balanced-job throughput bounds, the
+//!   systematic companions to the paper's one-line bottleneck arguments.
+//! * [`sweep`] — parallel parameter sweeps for the evaluation harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lt_core::prelude::*;
+//!
+//! // The paper's default machine: 4x4 torus, R = 1, L = 1, S = 1,
+//! // 8 threads per processor, p_remote = 0.2, geometric locality 0.5.
+//! let cfg = SystemConfig::paper_default();
+//! let report = solve(&cfg).unwrap();
+//! assert!(report.u_p > 0.5 && report.u_p <= 1.0);
+//!
+//! // Tolerance of the network latency against an ideal (zero-delay) network.
+//! let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).unwrap();
+//! assert!(tol.index > 0.8, "the default workload tolerates the network");
+//! ```
+
+pub mod analysis;
+pub mod bottleneck;
+pub mod bounds;
+pub mod error;
+pub mod metrics;
+pub mod mva;
+pub mod params;
+pub mod qn;
+pub mod sweep;
+pub mod tolerance;
+pub mod topology;
+pub mod workload;
+
+pub use analysis::{solve, solve_with, SolverChoice};
+pub use error::LtError;
+pub use metrics::PerformanceReport;
+pub use params::{ArchParams, SystemConfig, WorkloadParams};
+pub use tolerance::{tolerance_index, IdealSpec, ToleranceReport, ToleranceZone};
+pub use topology::Topology;
+pub use workload::AccessPattern;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::analysis::{solve, solve_with, SolverChoice};
+    pub use crate::bottleneck::BottleneckReport;
+    pub use crate::error::LtError;
+    pub use crate::metrics::PerformanceReport;
+    pub use crate::params::{ArchParams, SystemConfig, WorkloadParams};
+    pub use crate::qn::build::MmsNetwork;
+    pub use crate::tolerance::{
+        tolerance_index, tolerance_index_with, IdealSpec, ToleranceReport, ToleranceZone,
+    };
+    pub use crate::topology::Topology;
+    pub use crate::workload::AccessPattern;
+}

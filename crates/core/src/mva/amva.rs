@@ -1,0 +1,218 @@
+//! Bard–Schweitzer approximate MVA — the algorithm of the paper's Figure 3.
+//!
+//! The arrival theorem is approximated by estimating the queue seen by an
+//! arriving class-`i` customer as the equilibrium queue with one class-`i`
+//! customer removed *proportionally*:
+//!
+//! ```text
+//! Q_m(N − 1_i) ≈ Σ_{j≠i} n_{j,m}(N) + ((N_i − 1)/N_i) · n_{i,m}(N)
+//!              =  Q_m(N) − n_{i,m}(N)/N_i
+//! ```
+//!
+//! followed by the usual MVA step. The fixed point is computed by Jacobi
+//! iteration (all waits from the previous iterate), which preserves class
+//! symmetry exactly along the trajectory.
+
+use crate::error::{LtError, Result};
+use crate::mva::{initial_queue, MvaSolution, SolverOptions};
+use crate::qn::{ClosedNetwork, Discipline};
+
+/// Solve with default options.
+pub fn solve(net: &ClosedNetwork) -> Result<MvaSolution> {
+    solve_with(net, SolverOptions::default())
+}
+
+/// Solve with explicit convergence controls.
+pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolution> {
+    net.validate()?;
+    let c = net.n_classes();
+    let m = net.n_stations();
+
+    let mut queue = initial_queue(net);
+    let mut next = vec![vec![0.0; m]; c];
+    let mut wait = vec![vec![0.0; m]; c];
+    let mut throughput = vec![0.0; c];
+    let mut totals = vec![0.0; m];
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+
+        totals.iter_mut().for_each(|t| *t = 0.0);
+        for row in &queue {
+            for (t, &v) in totals.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+
+        let mut residual = 0.0f64;
+        for i in 0..c {
+            let pop = net.populations[i] as f64;
+            let mut cycle = 0.0;
+            for st in 0..m {
+                let e = net.visits[i][st];
+                if e == 0.0 {
+                    wait[i][st] = 0.0;
+                    continue;
+                }
+                let s = net.stations[st].service;
+                let w = match net.stations[st].discipline {
+                    Discipline::Queueing => {
+                        let seen = totals[st] - queue[i][st] / pop;
+                        s * (1.0 + seen)
+                    }
+                    Discipline::Delay => s,
+                };
+                wait[i][st] = w;
+                cycle += e * w;
+            }
+            let lam = pop / cycle;
+            throughput[i] = lam;
+            for st in 0..m {
+                let e = net.visits[i][st];
+                let n_new = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
+                residual = residual.max((n_new - queue[i][st]).abs());
+                next[i][st] = n_new;
+            }
+        }
+        std::mem::swap(&mut queue, &mut next);
+
+        if residual < opts.tolerance {
+            break;
+        }
+        if iterations >= opts.max_iterations {
+            return Err(LtError::NoConvergence {
+                solver: "amva",
+                iterations,
+                residual,
+            });
+        }
+    }
+
+    Ok(MvaSolution {
+        throughput,
+        wait,
+        queue,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::exact;
+    use crate::mva::testutil::two_station;
+    use crate::qn::{ClosedNetwork, Station};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn single_customer_is_exact() {
+        // Bard–Schweitzer is exact for N = 1 (the customer sees an empty
+        // network: Q(N − 1) = 0 exactly).
+        let net = two_station(1, 1.0, 2.0);
+        let a = solve(&net).unwrap();
+        let e = exact::solve(&net).unwrap();
+        assert_close(a.throughput[0], e.throughput[0], 1e-9);
+    }
+
+    #[test]
+    fn close_to_exact_single_class() {
+        for n in [2usize, 4, 8, 16] {
+            let net = two_station(n, 1.0, 2.0);
+            let a = solve(&net).unwrap();
+            let e = exact::solve(&net).unwrap();
+            let rel = (a.throughput[0] - e.throughput[0]).abs() / e.throughput[0];
+            assert!(rel < 0.05, "n={n}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn close_to_exact_two_class() {
+        let net = ClosedNetwork {
+            stations: vec![
+                Station::queueing("a", 1.0),
+                Station::queueing("b", 0.5),
+                Station::delay("z", 3.0),
+            ],
+            populations: vec![4, 6],
+            visits: vec![vec![1.0, 2.0, 1.0], vec![1.0, 0.5, 1.0]],
+        };
+        let a = solve(&net).unwrap();
+        let e = exact::solve(&net).unwrap();
+        for i in 0..2 {
+            let rel = (a.throughput[i] - e.throughput[i]).abs() / e.throughput[i];
+            // Bard–Schweitzer is a first-order approximation; ~6% on this
+            // deliberately unbalanced two-class network is its known range.
+            assert!(rel < 0.08, "class {i}: relative error {rel}");
+        }
+        assert_close(a.population_residual(&net), 0.0, 1e-6);
+    }
+
+    #[test]
+    fn preserves_class_symmetry() {
+        // Identical classes must come out identical (Jacobi preserves the
+        // symmetric trajectory bit-for-bit).
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 2.0)],
+            populations: vec![5, 5, 5],
+            visits: vec![vec![1.0, 1.0]; 3],
+        };
+        let a = solve(&net).unwrap();
+        assert_eq!(a.throughput[0], a.throughput[1]);
+        assert_eq!(a.throughput[1], a.throughput[2]);
+    }
+
+    #[test]
+    fn zero_service_stations_contribute_nothing() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("ideal", 0.0)],
+            populations: vec![6],
+            visits: vec![vec![1.0, 5.0]],
+        };
+        let a = solve(&net).unwrap();
+        assert_close(a.wait[0][1], 0.0, 1e-12);
+        // Single station of demand 1 with N=6: X = min(1, ...) -> 1.
+        assert_close(a.throughput[0], 1.0, 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_throughput_bound_holds() {
+        // Asymptotically X <= 1/max demand.
+        let net = two_station(50, 1.0, 0.25);
+        let a = solve(&net).unwrap();
+        assert!(a.throughput[0] <= 1.0 + 1e-9);
+        assert!(a.throughput[0] > 0.98);
+    }
+
+    #[test]
+    fn reports_iteration_count() {
+        let net = two_station(8, 1.0, 1.0);
+        let a = solve(&net).unwrap();
+        assert!(a.iterations > 0);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let net = two_station(8, 1.0, 1.0);
+        let err = solve_with(
+            &net,
+            SolverOptions {
+                tolerance: 0.0, // unattainable
+                max_iterations: 3,
+            },
+        )
+        .unwrap_err();
+        match err {
+            LtError::NoConvergence {
+                solver, iterations, ..
+            } => {
+                assert_eq!(solver, "amva");
+                assert_eq!(iterations, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

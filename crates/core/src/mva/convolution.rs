@@ -1,0 +1,239 @@
+//! Buzen's convolution algorithm (single class).
+//!
+//! The normalization-constant method predates MVA: for a single-class
+//! product-form network with queueing demands `D_m` and population `n`,
+//!
+//! ```text
+//! G(n) via g_new[j] = g[j] + D_m · g_new[j−1]   (one pass per station)
+//! X(n)   = G(n−1) / G(n)
+//! U_m(n) = D_m · X(n)
+//! Q_m(n) = Σ_{j=1..n} D_m^j · G(n−j) / G(n)
+//! ```
+//!
+//! Delay (infinite-server) demands enter through the `Z^j / j!` terms.
+//! This module implements the queueing-only form (delay demands folded via
+//! the standard augmented recursion) and exists as an *independent* exact
+//! solver to cross-check the exact-MVA recursion — two different
+//! algorithms, one answer, which is worth a lot in a numerical kernel.
+//!
+//! Numerical note: `G` grows/shrinks geometrically; demands are rescaled
+//! by their maximum so `G` stays representable for any population this
+//! crate meets in practice.
+
+use crate::error::{LtError, Result};
+use crate::qn::{ClosedNetwork, Discipline};
+
+/// Exact single-class solution by convolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvolutionSolution {
+    /// Throughput at the reference (visit-ratio-weighted) level.
+    pub throughput: f64,
+    /// Per-station utilizations (queueing stations; delay stations report
+    /// their Little-law population share instead).
+    pub utilization: Vec<f64>,
+    /// Per-station mean queue lengths.
+    pub queue: Vec<f64>,
+}
+
+/// Solve a **single-class** network exactly by convolution. Fails on
+/// multi-class networks.
+pub fn solve(net: &ClosedNetwork) -> Result<ConvolutionSolution> {
+    net.validate()?;
+    if net.n_classes() != 1 {
+        return Err(LtError::Unsupported(
+            "convolution handles single-class networks only".into(),
+        ));
+    }
+    let n = net.populations[0];
+    let m = net.n_stations();
+
+    let mut queueing: Vec<(usize, f64)> = Vec::new();
+    let mut think = 0.0;
+    for st in 0..m {
+        let d = net.demand(0, st);
+        match net.stations[st].discipline {
+            Discipline::Queueing => {
+                if d > 0.0 {
+                    queueing.push((st, d));
+                }
+            }
+            Discipline::Delay => think += d,
+        }
+    }
+    if queueing.is_empty() && think == 0.0 {
+        return Err(LtError::Unsupported(
+            "network with zero total demand has unbounded throughput".into(),
+        ));
+    }
+
+    // Rescale demands by the maximum to keep G(n) in range; throughput
+    // scales back by the same factor.
+    let scale = queueing
+        .iter()
+        .map(|&(_, d)| d)
+        .fold(think.max(f64::MIN_POSITIVE), f64::max);
+    let think_s = think / scale;
+
+    // g[j] = G_k(j) after folding in k stations; start with the delay
+    // "station": G_0(j) = Z^j / j!.
+    let mut g = vec![0.0f64; n + 1];
+    g[0] = 1.0;
+    for j in 1..=n {
+        g[j] = g[j - 1] * think_s / j as f64;
+    }
+    for &(_, d) in &queueing {
+        let ds = d / scale;
+        for j in 1..=n {
+            let prev = g[j - 1];
+            g[j] += ds * prev;
+        }
+    }
+
+    let x_scaled = if n == 0 { 0.0 } else { g[n - 1] / g[n] };
+    let throughput = x_scaled / scale;
+
+    // Per-station measures.
+    let mut utilization = vec![0.0; m];
+    let mut queue = vec![0.0; m];
+    for &(st, d) in &queueing {
+        let ds = d / scale;
+        utilization[st] = d * throughput;
+        // Q_m = Σ_{j=1..n} ds^j G(n-j)/G(n).
+        let mut q = 0.0;
+        let mut pow = 1.0;
+        for j in 1..=n {
+            pow *= ds;
+            q += pow * g[n - j] / g[n];
+        }
+        queue[st] = q;
+    }
+    // Delay stations: Little's law.
+    for st in 0..m {
+        if net.stations[st].discipline == Discipline::Delay {
+            let d = net.demand(0, st);
+            queue[st] = d * throughput;
+            utilization[st] = 0.0;
+        }
+    }
+
+    Ok(ConvolutionSolution {
+        throughput,
+        utilization,
+        queue,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::exact;
+    use crate::mva::testutil::two_station;
+    use crate::qn::{ClosedNetwork, Station};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn agrees_with_exact_mva_two_stations() {
+        for n in [1usize, 3, 8, 25] {
+            for (s0, s1) in [(1.0, 1.0), (1.0, 3.0), (0.2, 5.0)] {
+                let net = two_station(n, s0, s1);
+                let conv = solve(&net).unwrap();
+                let mva = exact::solve(&net).unwrap();
+                assert!(
+                    close(conv.throughput, mva.throughput[0], 1e-9),
+                    "n={n}: conv {} vs mva {}",
+                    conv.throughput,
+                    mva.throughput[0]
+                );
+                for st in 0..2 {
+                    assert!(close(conv.queue[st], mva.total_queue(st), 1e-8));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_exact_mva_with_delay_station() {
+        let net = ClosedNetwork {
+            stations: vec![
+                Station::queueing("cpu", 1.0),
+                Station::queueing("disk", 0.7),
+                Station::delay("think", 5.0),
+            ],
+            populations: vec![12],
+            visits: vec![vec![1.0, 2.0, 1.0]],
+        };
+        let conv = solve(&net).unwrap();
+        let mva = exact::solve(&net).unwrap();
+        assert!(close(conv.throughput, mva.throughput[0], 1e-9));
+        for st in 0..3 {
+            assert!(
+                close(conv.queue[st], mva.total_queue(st), 1e-7),
+                "station {st}: {} vs {}",
+                conv.queue[st],
+                mva.total_queue(st)
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_is_demand_times_throughput() {
+        let net = two_station(10, 1.0, 2.0);
+        let conv = solve(&net).unwrap();
+        assert!(close(conv.utilization[1], 2.0 * conv.throughput, 1e-12));
+        assert!(conv.utilization[1] > 0.95, "bottleneck nearly saturated");
+    }
+
+    #[test]
+    fn population_conserved() {
+        let net = two_station(7, 1.3, 0.9);
+        let conv = solve(&net).unwrap();
+        let total: f64 = conv.queue.iter().sum();
+        assert!(close(total, 7.0, 1e-8), "total queue {total}");
+    }
+
+    #[test]
+    fn rejects_multiclass() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0)],
+            populations: vec![1, 1],
+            visits: vec![vec![1.0], vec![1.0]],
+        };
+        assert!(matches!(solve(&net), Err(LtError::Unsupported(_))));
+    }
+
+    #[test]
+    fn survives_large_populations_numerically() {
+        // Geometric growth of G would overflow unscaled.
+        let net = two_station(500, 0.001, 10.0);
+        let conv = solve(&net).unwrap();
+        assert!(conv.throughput.is_finite());
+        assert!(close(conv.throughput, 0.1, 1e-6), "bottleneck rate 1/10");
+    }
+
+    #[test]
+    fn single_node_mms_collapses_to_convolution() {
+        // A 1x1 "machine" (p_remote = 0) is a single-class 2-station cycle;
+        // the MMS pipeline and convolution must agree end to end.
+        use crate::params::SystemConfig;
+        use crate::qn::build::build_network;
+        use crate::topology::Topology;
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(1))
+            .with_p_remote(0.0)
+            .with_n_threads(5);
+        let mms = build_network(&cfg).unwrap();
+        // Strip to the single class's visited stations: convolution takes
+        // the network as-is (unvisited stations have zero demand).
+        let conv = solve(&ClosedNetwork {
+            stations: mms.net.stations.clone(),
+            populations: vec![5],
+            visits: vec![mms.net.visits[0].clone()],
+        })
+        .unwrap();
+        let mva = exact::solve(&mms.net).unwrap();
+        assert!(close(conv.throughput, mva.throughput[0], 1e-9));
+    }
+}

@@ -1,0 +1,270 @@
+//! Exact multi-class Mean Value Analysis.
+//!
+//! The recursion of Reiser & Lavenberg: for population vector `n`,
+//!
+//! ```text
+//! w_{i,m}(n) = s_m · (1 + Q_m(n − 1_i))      (queueing stations)
+//! w_{i,m}(n) = s_m                            (delay stations)
+//! λ_i(n)     = n_i / Σ_m e_{i,m} w_{i,m}(n)
+//! Q_m(n)     = Σ_i λ_i(n) e_{i,m} w_{i,m}(n)
+//! ```
+//!
+//! Only the *total* queue length `Q_m` per station has to be memoized for
+//! every population vector `≤ N`, because service times are
+//! class-independent (the product-form condition for FCFS stations). The
+//! state space is `∏(N_i + 1)`, enumerated in mixed-radix order so every
+//! `n − 1_i` precedes `n`.
+
+use crate::error::{LtError, Result};
+use crate::mva::MvaSolution;
+use crate::qn::{ClosedNetwork, Discipline};
+
+/// Hard ceiling on `states × stations` table entries (~1.6 GiB of f64 at
+/// the default). Exceeding it yields [`LtError::ProblemTooLarge`].
+pub const DEFAULT_ENTRY_LIMIT: u128 = 200_000_000;
+
+/// Solve a network exactly. Fails with [`LtError::ProblemTooLarge`] when the
+/// population lattice would exceed [`DEFAULT_ENTRY_LIMIT`] table entries.
+pub fn solve(net: &ClosedNetwork) -> Result<MvaSolution> {
+    solve_with_limit(net, DEFAULT_ENTRY_LIMIT)
+}
+
+/// [`solve`] with an explicit entry budget.
+pub fn solve_with_limit(net: &ClosedNetwork, entry_limit: u128) -> Result<MvaSolution> {
+    net.validate()?;
+    let c = net.n_classes();
+    let m = net.n_stations();
+
+    // Mixed-radix layout over the population lattice.
+    let radices: Vec<usize> = net.populations.iter().map(|&n| n + 1).collect();
+    let mut states: u128 = 1;
+    for &r in &radices {
+        states = states.saturating_mul(r as u128);
+    }
+    let entries = states.saturating_mul(m as u128);
+    if entries > entry_limit {
+        return Err(LtError::ProblemTooLarge {
+            states,
+            limit: entry_limit,
+        });
+    }
+    let states = states as usize;
+
+    // strides[i] = product of radices[..i]; rank(n) = Σ n_i · strides[i].
+    let mut strides = vec![1usize; c];
+    for i in 1..c {
+        strides[i] = strides[i - 1] * radices[i - 1];
+    }
+
+    // Q[rank][m] = total mean queue length at station m for that population.
+    let mut q = vec![0.0f64; states * m];
+    let mut digits = vec![0usize; c];
+    let mut wait_scratch = vec![0.0f64; m];
+
+    // Throughputs at the full population, filled when rank == states - 1.
+    let mut lambda = vec![0.0f64; c];
+
+    for rank in 1..states {
+        // Increment mixed-radix counter to match `rank`.
+        let mut carry = 0;
+        loop {
+            digits[carry] += 1;
+            if digits[carry] < radices[carry] {
+                break;
+            }
+            digits[carry] = 0;
+            carry += 1;
+        }
+
+        let q_rank_base = rank * m;
+        // Accumulate Q_m(n) = Σ_i λ_i e w over classes present.
+        // First compute λ_i and w_{i,m} for each class with n_i > 0.
+        for i in 0..c {
+            if digits[i] == 0 {
+                continue;
+            }
+            let prev = rank - strides[i]; // rank of n − 1_i
+            let prev_base = prev * m;
+            let mut cycle = 0.0;
+            for st in 0..m {
+                let e = net.visits[i][st];
+                if e == 0.0 {
+                    wait_scratch[st] = 0.0;
+                    continue;
+                }
+                let s = net.stations[st].service;
+                let w = match net.stations[st].discipline {
+                    Discipline::Queueing => s * (1.0 + q[prev_base + st]),
+                    Discipline::Delay => s,
+                };
+                wait_scratch[st] = w;
+                cycle += e * w;
+            }
+            let lam = digits[i] as f64 / cycle;
+            if rank == states - 1 {
+                lambda[i] = lam;
+            }
+            for st in 0..m {
+                let e = net.visits[i][st];
+                if e > 0.0 {
+                    q[q_rank_base + st] += lam * e * wait_scratch[st];
+                }
+            }
+        }
+    }
+
+    // Recover per-class waits and queues at the full population N.
+    let full = states - 1;
+    let mut wait = vec![vec![0.0; m]; c];
+    let mut queue = vec![vec![0.0; m]; c];
+    for i in 0..c {
+        let prev_base = (full - strides[i]) * m;
+        for st in 0..m {
+            let e = net.visits[i][st];
+            if e == 0.0 {
+                continue;
+            }
+            let s = net.stations[st].service;
+            let w = match net.stations[st].discipline {
+                Discipline::Queueing => s * (1.0 + q[prev_base + st]),
+                Discipline::Delay => s,
+            };
+            wait[i][st] = w;
+            queue[i][st] = lambda[i] * e * w;
+        }
+    }
+
+    Ok(MvaSolution {
+        throughput: lambda,
+        wait,
+        queue,
+        iterations: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::testutil::{single_class_reference, two_station};
+    use crate::qn::{ClosedNetwork, Station};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn single_class_matches_reference_recursion() {
+        for n in [1usize, 2, 5, 12] {
+            for (s0, s1) in [(1.0, 1.0), (1.0, 3.0), (0.5, 2.5)] {
+                let net = two_station(n, s0, s1);
+                let sol = solve(&net).unwrap();
+                let x = single_class_reference(&[s0, s1], n);
+                assert_close(sol.throughput[0], x, 1e-12);
+                assert_close(sol.population_residual(&net), 0.0, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_customer_sees_no_queueing() {
+        // With N = 1 the customer never queues: cycle = Σ demands.
+        let net = two_station(1, 1.0, 2.0);
+        let sol = solve(&net).unwrap();
+        assert_close(sol.throughput[0], 1.0 / 3.0, 1e-12);
+        assert_close(sol.wait[0][0], 1.0, 1e-12);
+        assert_close(sol.wait[0][1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn balanced_network_closed_form() {
+        // Balanced single-class network with M identical stations of
+        // demand d: X(n) = n / (d (n + M - 1)).
+        let m_stations = 3usize;
+        let d = 2.0;
+        let n = 7usize;
+        let net = ClosedNetwork {
+            stations: (0..m_stations)
+                .map(|i| Station::queueing(format!("s{i}"), d))
+                .collect(),
+            populations: vec![n],
+            visits: vec![vec![1.0; m_stations]],
+        };
+        let sol = solve(&net).unwrap();
+        let expect = n as f64 / (d * (n as f64 + m_stations as f64 - 1.0));
+        assert_close(sol.throughput[0], expect, 1e-12);
+    }
+
+    #[test]
+    fn delay_station_acts_as_pure_latency() {
+        // One queueing station (demand 1) + one delay station (demand z):
+        // the classic machine-repairman: X(n) satisfies MVA with w_delay=z.
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("q", 1.0), Station::delay("think", 4.0)],
+            populations: vec![3],
+            visits: vec![vec![1.0, 1.0]],
+        };
+        let sol = solve(&net).unwrap();
+        // Hand recursion: n=1: w=(1,4), X=1/5, q=(0.2,0.8)
+        // n=2: w=(1.2,4), X=2/5.2, q=(0.4615..,3.0769../4->) ...
+        let mut qq = 0.0;
+        let mut x = 0.0;
+        for pop in 1..=3 {
+            let w0 = 1.0 + qq;
+            let cyc = w0 + 4.0;
+            x = pop as f64 / cyc;
+            qq = x * w0;
+        }
+        assert_close(sol.throughput[0], x, 1e-12);
+        assert_close(sol.wait[0][1], 4.0, 1e-12);
+    }
+
+    #[test]
+    fn two_class_symmetric_classes_get_equal_throughput() {
+        // Two classes sharing two stations symmetrically.
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 1.0)],
+            populations: vec![2, 2],
+            visits: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        };
+        let sol = solve(&net).unwrap();
+        assert_close(sol.throughput[0], sol.throughput[1], 1e-12);
+        assert_close(sol.population_residual(&net), 0.0, 1e-9);
+    }
+
+    #[test]
+    fn two_class_asymmetric_loads() {
+        // Class 0 hammers station a, class 1 hammers station b; both also
+        // visit the other station lightly. Verify conservation + ordering.
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 1.0)],
+            populations: vec![3, 1],
+            visits: vec![vec![1.0, 0.1], vec![0.1, 1.0]],
+        };
+        let sol = solve(&net).unwrap();
+        assert!(sol.throughput[1] > 0.0);
+        assert_close(sol.population_residual(&net), 0.0, 1e-9);
+        // Class 0 queues mostly at a.
+        assert!(sol.queue[0][0] > sol.queue[0][1]);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one() {
+        let net = two_station(20, 1.0, 0.3);
+        let sol = solve(&net).unwrap();
+        assert!(sol.utilization(&net, 0) <= 1.0 + 1e-9);
+        assert!(sol.utilization(&net, 0) > 0.99, "saturated bottleneck");
+    }
+
+    #[test]
+    fn refuses_oversized_lattices() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0)],
+            populations: vec![1000, 1000, 1000, 1000],
+            visits: vec![vec![1.0]; 4],
+        };
+        match solve(&net) {
+            Err(LtError::ProblemTooLarge { .. }) => {}
+            other => panic!("expected ProblemTooLarge, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The Chandy–Neuse **Linearizer** approximate MVA.
+//!
+//! Bard–Schweitzer assumes the *fraction* of class-`j` customers at each
+//! station is unchanged when one class-`i` customer is removed. Linearizer
+//! instead estimates the first-order deviation of those fractions,
+//!
+//! ```text
+//! F_{j,m}(i) = n_{j,m}(N − 1_i)/(N_j − δ_ij)  −  n_{j,m}(N)/N_j ,
+//! ```
+//!
+//! by actually solving the `C` reduced-population networks with a
+//! Schweitzer-style core, then refeeding the deviations. Two to three outer
+//! refinements typically bring the solution within a fraction of a percent
+//! of exact MVA — at roughly `C + 1` times the cost of Bard–Schweitzer per
+//! refinement. Used here for the solver-accuracy ablation.
+
+use crate::error::{LtError, Result};
+use crate::mva::{MvaSolution, SolverOptions};
+use crate::qn::{ClosedNetwork, Discipline};
+
+/// Number of outer refinement sweeps (the literature standard is 2–3).
+pub const OUTER_SWEEPS: usize = 3;
+
+/// Solve with default options.
+pub fn solve(net: &ClosedNetwork) -> Result<MvaSolution> {
+    solve_with(net, SolverOptions::default())
+}
+
+/// Fraction-deviation table: `f[i][j][m]`, deviation of class `j` at
+/// station `m` caused by removing one class-`i` customer.
+type Fractions = Vec<Vec<Vec<f64>>>;
+
+/// Solve with explicit convergence controls.
+pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolution> {
+    net.validate()?;
+    let c = net.n_classes();
+    let m = net.n_stations();
+    let full: Vec<usize> = net.populations.clone();
+
+    let mut fractions: Fractions = vec![vec![vec![0.0; m]; c]; c];
+    let mut sol_full = core(net, &full, &fractions, opts)?;
+
+    for _sweep in 0..OUTER_SWEEPS {
+        // Solve each N − 1_i with the current deviation estimates.
+        let mut reduced = Vec::with_capacity(c);
+        for i in 0..c {
+            if full[i] == 0 {
+                reduced.push(None);
+                continue;
+            }
+            let mut pop = full.clone();
+            pop[i] -= 1;
+            if pop.iter().all(|&n| n == 0) {
+                reduced.push(None);
+                continue;
+            }
+            reduced.push(Some(core(net, &pop, &fractions, opts)?));
+        }
+        // Update the deviations.
+        for i in 0..c {
+            let Some(sol_i) = &reduced[i] else { continue };
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..c {
+                let nj_full = full[j] as f64;
+                let nj_reduced = (full[j] - usize::from(i == j)) as f64;
+                for st in 0..m {
+                    let frac_full = if nj_full > 0.0 {
+                        sol_full.queue[j][st] / nj_full
+                    } else {
+                        0.0
+                    };
+                    let frac_red = if nj_reduced > 0.0 {
+                        sol_i.queue[j][st] / nj_reduced
+                    } else {
+                        0.0
+                    };
+                    fractions[i][j][st] = frac_red - frac_full;
+                }
+            }
+        }
+        sol_full = core(net, &full, &fractions, opts)?;
+    }
+    Ok(sol_full)
+}
+
+/// Schweitzer-style fixed point at population `pop`, with arriving-customer
+/// queue estimates corrected by the `fractions` table.
+fn core(
+    net: &ClosedNetwork,
+    pop: &[usize],
+    fractions: &Fractions,
+    opts: SolverOptions,
+) -> Result<MvaSolution> {
+    let c = net.n_classes();
+    let m = net.n_stations();
+
+    // Initial guess: population spread proportionally to demand.
+    let mut queue = vec![vec![0.0; m]; c];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..c {
+        let total_demand: f64 = (0..m).map(|s| net.demand(i, s)).sum();
+        let p = pop[i] as f64;
+        for st in 0..m {
+            queue[i][st] = if total_demand > 0.0 {
+                p * net.demand(i, st) / total_demand
+            } else {
+                0.0
+            };
+        }
+    }
+
+    let mut wait = vec![vec![0.0; m]; c];
+    let mut next = vec![vec![0.0; m]; c];
+    let mut throughput = vec![0.0; c];
+    let mut iterations = 0;
+
+    loop {
+        iterations += 1;
+        let mut residual = 0.0f64;
+        for i in 0..c {
+            if pop[i] == 0 {
+                for st in 0..m {
+                    next[i][st] = 0.0;
+                    wait[i][st] = 0.0;
+                }
+                throughput[i] = 0.0;
+                continue;
+            }
+            let mut cycle = 0.0;
+            for st in 0..m {
+                let e = net.visits[i][st];
+                if e == 0.0 {
+                    wait[i][st] = 0.0;
+                    continue;
+                }
+                let s = net.stations[st].service;
+                let w = match net.stations[st].discipline {
+                    Discipline::Queueing => {
+                        // Estimated total queue seen by an arriving class-i
+                        // customer: Σ_j (N_j − δ_ij)(n_j/N_j + F_{i,j}).
+                        let mut seen = 0.0;
+                        for j in 0..c {
+                            let nj = pop[j] as f64;
+                            if nj == 0.0 {
+                                continue;
+                            }
+                            let reduced = nj - f64::from(u8::from(i == j));
+                            if reduced <= 0.0 {
+                                continue;
+                            }
+                            seen += reduced * (queue[j][st] / nj + fractions[i][j][st]);
+                        }
+                        s * (1.0 + seen.max(0.0))
+                    }
+                    Discipline::Delay => s,
+                };
+                wait[i][st] = w;
+                cycle += e * w;
+            }
+            let lam = pop[i] as f64 / cycle;
+            throughput[i] = lam;
+            for st in 0..m {
+                let e = net.visits[i][st];
+                let n_new = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
+                residual = residual.max((n_new - queue[i][st]).abs());
+                next[i][st] = n_new;
+            }
+        }
+        std::mem::swap(&mut queue, &mut next);
+        if residual < opts.tolerance {
+            break;
+        }
+        if iterations >= opts.max_iterations {
+            return Err(LtError::NoConvergence {
+                solver: "linearizer",
+                iterations,
+                residual,
+            });
+        }
+    }
+
+    Ok(MvaSolution {
+        throughput,
+        wait,
+        queue,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::testutil::two_station;
+    use crate::mva::{amva, exact};
+    use crate::qn::{ClosedNetwork, Station};
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        (a - b).abs() / b.abs()
+    }
+
+    #[test]
+    fn exact_for_single_customer() {
+        let net = two_station(1, 1.0, 2.0);
+        let l = solve(&net).unwrap();
+        let e = exact::solve(&net).unwrap();
+        assert!(rel_err(l.throughput[0], e.throughput[0]) < 1e-8);
+    }
+
+    #[test]
+    fn more_accurate_than_schweitzer_single_class() {
+        // The canonical demonstration: moderate population, unbalanced
+        // demands — Linearizer should at least match Schweitzer's error.
+        let net = two_station(6, 1.0, 2.0);
+        let e = exact::solve(&net).unwrap().throughput[0];
+        let s = amva::solve(&net).unwrap().throughput[0];
+        let l = solve(&net).unwrap().throughput[0];
+        assert!(
+            rel_err(l, e) <= rel_err(s, e) + 1e-12,
+            "linearizer {l} vs schweitzer {s} vs exact {e}"
+        );
+        assert!(rel_err(l, e) < 0.01);
+    }
+
+    #[test]
+    fn more_accurate_than_schweitzer_multiclass() {
+        let net = ClosedNetwork {
+            stations: vec![
+                Station::queueing("a", 1.0),
+                Station::queueing("b", 0.5),
+                Station::queueing("c", 2.0),
+            ],
+            populations: vec![3, 5],
+            visits: vec![vec![1.0, 2.0, 0.4], vec![1.0, 0.3, 1.0]],
+        };
+        let e = exact::solve(&net).unwrap();
+        let s = amva::solve(&net).unwrap();
+        let l = solve(&net).unwrap();
+        let err_s: f64 = (0..2)
+            .map(|i| rel_err(s.throughput[i], e.throughput[i]))
+            .sum();
+        let err_l: f64 = (0..2)
+            .map(|i| rel_err(l.throughput[i], e.throughput[i]))
+            .sum();
+        assert!(err_l < err_s, "linearizer {err_l} vs schweitzer {err_s}");
+        assert!(err_l < 0.02);
+    }
+
+    #[test]
+    fn population_conservation() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::delay("z", 2.0)],
+            populations: vec![4, 2],
+            visits: vec![vec![1.0, 1.0], vec![2.0, 1.0]],
+        };
+        let l = solve(&net).unwrap();
+        assert!(l.population_residual(&net) < 1e-6);
+    }
+
+    #[test]
+    fn handles_population_one_classes() {
+        // Removing the single customer of a class empties the class; the
+        // reduced network must be solvable (guards against div-by-zero).
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 1.5)],
+            populations: vec![1, 1],
+            visits: vec![vec![1.0, 1.0], vec![1.0, 2.0]],
+        };
+        let l = solve(&net).unwrap();
+        let e = exact::solve(&net).unwrap();
+        for i in 0..2 {
+            assert!(rel_err(l.throughput[i], e.throughput[i]) < 0.02);
+        }
+    }
+}

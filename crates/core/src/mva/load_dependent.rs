@@ -1,0 +1,277 @@
+//! Exact single-class MVA with **load-dependent** service rates.
+//!
+//! The multi-port memory extension needs a station whose rate grows with
+//! its queue (`min(j, c) · μ` for a `c`-server module). The multi-class
+//! solvers approximate it (Seidmann transformation); this module computes
+//! the *exact* single-class solution by carrying each load-dependent
+//! station's marginal queue-length distribution through the MVA
+//! recursion:
+//!
+//! ```text
+//! w_m(n)      = Σ_{j=1..n}  (j / rate_m(j)) · p_m(j−1 | n−1)
+//! p_m(j | n)  = (X(n) / rate_m(j)) · p_m(j−1 | n−1)        (j ≥ 1)
+//! p_m(0 | n)  = 1 − Σ_{j≥1} p_m(j | n)
+//! ```
+//!
+//! where `rate_m(j)` is the service completion rate with `j` customers
+//! present. Fixed-rate stations use the ordinary recursion. Used here to
+//! quantify the Seidmann error exactly (see the `ext-ports` experiment and
+//! the cross-checks below).
+
+use crate::error::{LtError, Result};
+use crate::mva::MvaSolution;
+use crate::qn::{ClosedNetwork, Discipline};
+
+/// Per-station service-rate function: completions per time unit with `j`
+/// customers present (`j ≥ 1`).
+#[derive(Debug, Clone)]
+pub enum RateFn {
+    /// Fixed unit-rate scaling: `rate(j) = 1/s` (ordinary queueing station).
+    Fixed,
+    /// `c` parallel servers: `rate(j) = min(j, c)/s`.
+    MultiServer(usize),
+}
+
+impl RateFn {
+    fn rate(&self, service: f64, j: usize) -> f64 {
+        match *self {
+            RateFn::Fixed => 1.0 / service,
+            RateFn::MultiServer(c) => j.min(c) as f64 / service,
+        }
+    }
+}
+
+/// Solve a single-class network exactly, with per-station rate functions
+/// (`rates.len()` must equal the station count; delay stations ignore
+/// their entry).
+pub fn solve(net: &ClosedNetwork, rates: &[RateFn]) -> Result<MvaSolution> {
+    net.validate()?;
+    if net.n_classes() != 1 {
+        return Err(LtError::Unsupported(
+            "load-dependent MVA handles single-class networks only".into(),
+        ));
+    }
+    if rates.len() != net.n_stations() {
+        return Err(LtError::InvalidConfig(
+            "one RateFn per station required".into(),
+        ));
+    }
+    let n = net.populations[0];
+    let m = net.n_stations();
+
+    // Marginal distributions p_m(j | pop) for load-dependent stations;
+    // plain mean queue lengths for fixed ones (cheaper and equivalent).
+    let ld: Vec<bool> = (0..m)
+        .map(|st| {
+            matches!(rates[st], RateFn::MultiServer(c) if c > 1)
+                && net.stations[st].discipline == Discipline::Queueing
+                && net.stations[st].service > 0.0
+        })
+        .collect();
+    let mut marginal: Vec<Vec<f64>> = (0..m)
+        .map(|st| {
+            if ld[st] {
+                let mut v = vec![0.0; n + 1];
+                v[0] = 1.0;
+                v
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let mut mean_q = vec![0.0f64; m];
+    let mut wait = vec![0.0f64; m];
+    let mut x = 0.0;
+
+    for pop in 1..=n {
+        let mut cycle = 0.0;
+        for st in 0..m {
+            let e = net.visits[0][st];
+            if e == 0.0 {
+                wait[st] = 0.0;
+                continue;
+            }
+            let s = net.stations[st].service;
+            wait[st] = match net.stations[st].discipline {
+                Discipline::Delay => s,
+                Discipline::Queueing if s == 0.0 => 0.0,
+                Discipline::Queueing => {
+                    if ld[st] {
+                        // Σ_j (j / rate(j)) p(j-1 | pop-1)
+                        let mut w = 0.0;
+                        for j in 1..=pop {
+                            w += j as f64 / rates[st].rate(s, j) * marginal[st][j - 1];
+                        }
+                        w
+                    } else {
+                        s * (1.0 + mean_q[st])
+                    }
+                }
+            };
+            cycle += e * wait[st];
+        }
+        x = pop as f64 / cycle;
+
+        // Update marginals / means at population `pop`.
+        for st in 0..m {
+            let e = net.visits[0][st];
+            if e == 0.0 {
+                continue;
+            }
+            if ld[st] {
+                let s = net.stations[st].service;
+                let mut new_p = vec![0.0; n + 1];
+                let mut tail = 0.0;
+                for j in (1..=pop).rev() {
+                    new_p[j] = x * e / rates[st].rate(s, j) * marginal[st][j - 1];
+                    tail += new_p[j];
+                }
+                new_p[0] = (1.0 - tail).max(0.0);
+                marginal[st] = new_p;
+                mean_q[st] = (1..=pop).map(|j| j as f64 * marginal[st][j]).sum();
+            } else {
+                mean_q[st] = x * e * wait[st];
+            }
+        }
+    }
+
+    Ok(MvaSolution {
+        throughput: vec![x],
+        wait: vec![wait],
+        queue: vec![mean_q],
+        iterations: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::exact;
+    use crate::qn::{ClosedNetwork, Station};
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn fixed_rates_reduce_to_ordinary_mva() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 2.0)],
+            populations: vec![7],
+            visits: vec![vec![1.0, 1.5]],
+        };
+        let ld = solve(&net, &[RateFn::Fixed, RateFn::Fixed]).unwrap();
+        let ex = exact::solve(&net).unwrap();
+        assert!(close(ld.throughput[0], ex.throughput[0], 1e-12));
+        for st in 0..2 {
+            assert!(close(ld.queue[0][st], ex.queue[0][st], 1e-10));
+        }
+    }
+
+    #[test]
+    fn single_server_multiserver_is_fixed() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 2.0)],
+            populations: vec![5],
+            visits: vec![vec![1.0, 1.0]],
+        };
+        let a = solve(&net, &[RateFn::Fixed, RateFn::MultiServer(1)]).unwrap();
+        let b = solve(&net, &[RateFn::Fixed, RateFn::Fixed]).unwrap();
+        assert!(close(a.throughput[0], b.throughput[0], 1e-12));
+    }
+
+    #[test]
+    fn many_servers_approach_a_delay_station() {
+        // c >= n: nobody ever queues, so the station behaves as pure delay.
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("cpu", 1.0), Station::queueing("mem", 3.0)],
+            populations: vec![6],
+            visits: vec![vec![1.0, 1.0]],
+        };
+        let ld = solve(&net, &[RateFn::Fixed, RateFn::MultiServer(6)]).unwrap();
+        let reference = ClosedNetwork {
+            stations: vec![Station::queueing("cpu", 1.0), Station::delay("mem", 3.0)],
+            populations: vec![6],
+            visits: vec![vec![1.0, 1.0]],
+        };
+        let ex = exact::solve(&reference).unwrap();
+        assert!(
+            close(ld.throughput[0], ex.throughput[0], 1e-9),
+            "{} vs {}",
+            ld.throughput[0],
+            ex.throughput[0]
+        );
+        assert!(close(ld.wait[0][1], 3.0, 1e-9), "no queueing at c >= n");
+    }
+
+    #[test]
+    fn population_conserved_with_multiserver() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 4.0)],
+            populations: vec![9],
+            visits: vec![vec![1.0, 1.0]],
+        };
+        let ld = solve(&net, &[RateFn::Fixed, RateFn::MultiServer(3)]).unwrap();
+        let total: f64 = ld.queue[0].iter().sum();
+        assert!(close(total, 9.0, 1e-8), "total queue {total}");
+    }
+
+    #[test]
+    fn seidmann_error_is_visible_and_bounded() {
+        // Same machine three ways: exact multiserver (this module),
+        // Seidmann split, single-server. Exact must lie between them and
+        // Seidmann within a few percent of exact.
+        let visits = vec![1.0, 1.0];
+        let pop = 8;
+        let exact_ms = solve(
+            &ClosedNetwork {
+                stations: vec![Station::queueing("cpu", 1.0), Station::queueing("mem", 2.0)],
+                populations: vec![pop],
+                visits: vec![visits.clone()],
+            },
+            &[RateFn::Fixed, RateFn::MultiServer(2)],
+        )
+        .unwrap()
+        .throughput[0];
+        let seidmann = exact::solve(&ClosedNetwork {
+            stations: vec![
+                Station::queueing("cpu", 1.0),
+                Station::queueing("mem-q", 1.0),
+                Station::delay("mem-d", 1.0),
+            ],
+            populations: vec![pop],
+            visits: vec![vec![1.0, 1.0, 1.0]],
+        })
+        .unwrap()
+        .throughput[0];
+        let single = exact::solve(&ClosedNetwork {
+            stations: vec![Station::queueing("cpu", 1.0), Station::queueing("mem", 2.0)],
+            populations: vec![pop],
+            visits: vec![visits],
+        })
+        .unwrap()
+        .throughput[0];
+        assert!(single < exact_ms, "2 servers beat 1");
+        let rel = (seidmann - exact_ms).abs() / exact_ms;
+        assert!(rel < 0.05, "Seidmann error {rel}");
+    }
+
+    #[test]
+    fn rejects_multiclass_and_bad_shapes() {
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0)],
+            populations: vec![1, 1],
+            visits: vec![vec![1.0], vec![1.0]],
+        };
+        assert!(matches!(
+            solve(&net, &[RateFn::Fixed]),
+            Err(LtError::Unsupported(_))
+        ));
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 1.0)],
+            populations: vec![2],
+            visits: vec![vec![1.0]],
+        };
+        assert!(solve(&net, &[]).is_err(), "rate-fn arity check");
+    }
+}

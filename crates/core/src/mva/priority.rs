@@ -1,0 +1,266 @@
+//! Approximate MVA for **local-priority memory** (extension).
+//!
+//! Section 7 of the paper points at EM-4's policy — a memory module serves
+//! its own processor's accesses before remote ones — as a remedy for
+//! local-memory contention under a very fast network. Priorities break the
+//! product form, but MVA "is amenable to heuristics" (the paper's words);
+//! this module implements the classic **shadow-server** approximation
+//! (Sevcik) with a non-preemptive correction:
+//!
+//! * the **high-priority** chain (class `j` at its own memory `j`) sees
+//!   only its own queue, plus the residual service of a possibly
+//!   in-service low-priority access:
+//!   `w_high = s · (1 + n_high_seen) + s · ρ_low`;
+//! * each **low-priority** chain (class `i ≠ j` at memory `j`) is served
+//!   by a *shadow* server slowed by the high-priority utilization:
+//!   `w_low = s / (1 − ρ_high) · (1 + n_low_seen)`,
+//!   where `n_low_seen` counts only low-priority customers.
+//!
+//! All other stations use the ordinary Bard–Schweitzer step. The
+//! utilizations `ρ` are recomputed from the current throughput iterate, so
+//! the whole thing remains a fixed point. Accuracy against the exact
+//! (simulated) policy is quantified in the `ext-priority` experiment.
+
+use crate::error::{LtError, Result};
+use crate::mva::{initial_queue, MvaSolution, SolverOptions};
+use crate::qn::build::{MmsNetwork, StationKind};
+use crate::qn::Discipline;
+
+/// Guard keeping the shadow-server slowdown finite.
+const MAX_SHADOW_UTIL: f64 = 0.995;
+
+/// Under-relaxation factor: the ρ-feedback makes the plain iteration
+/// oscillate near saturation, so queue updates are damped.
+const DAMPING: f64 = 0.5;
+
+/// Solve the MMS with local-priority memories, default options.
+pub fn solve(mms: &MmsNetwork) -> Result<MvaSolution> {
+    solve_with(mms, SolverOptions::default())
+}
+
+/// Solve with explicit convergence controls.
+pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> {
+    let net = &mms.net;
+    net.validate()?;
+    let c = net.n_classes();
+    let m = net.n_stations();
+    let p = mms.idx.p;
+
+    // Station -> Some(node) when it is a memory module.
+    let memory_node: Vec<Option<usize>> = (0..m)
+        .map(|st| match mms.idx.kind(st) {
+            StationKind::Memory(node) => Some(node),
+            _ => None,
+        })
+        .collect();
+
+    let mut queue = initial_queue(net);
+    let mut next = vec![vec![0.0; m]; c];
+    let mut wait = vec![vec![0.0; m]; c];
+    let mut throughput: Vec<f64> = vec![0.0; c];
+
+    // Initial throughput guess from demand (for the ρ terms); refined each
+    // iteration.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..c {
+        let total: f64 = (0..m).map(|st| net.demand(i, st)).sum();
+        throughput[i] = if total > 0.0 {
+            net.populations[i] as f64 / (2.0 * total)
+        } else {
+            0.0
+        };
+    }
+
+    let mut totals = vec![0.0; m];
+    let mut rho_high = vec![0.0; p];
+    let mut rho_low = vec![0.0; p];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+
+        totals.iter_mut().for_each(|t| *t = 0.0);
+        for row in &queue {
+            for (t, &v) in totals.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+
+        // Priority utilizations per memory node, from the current
+        // throughputs (high = the local class, low = everyone else),
+        // exponentially smoothed: the ρ feedback is the destabilizing
+        // loop, so it gets the heavier damping.
+        let mut rho_high_new = vec![0.0; p];
+        let mut rho_low_new = vec![0.0; p];
+        for (st, node) in memory_node.iter().enumerate() {
+            let Some(j) = node else { continue };
+            let s = net.stations[st].service;
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..c {
+                let u = throughput[i] * net.visits[i][st] * s;
+                if i == *j {
+                    rho_high_new[*j] += u;
+                } else {
+                    rho_low_new[*j] += u;
+                }
+            }
+        }
+        let blend = if iterations == 1 { 1.0 } else { 0.1 };
+        for j in 0..p {
+            rho_high[j] += blend * (rho_high_new[j] - rho_high[j]);
+            rho_low[j] += blend * (rho_low_new[j] - rho_low[j]);
+        }
+
+        let mut residual = 0.0f64;
+        for i in 0..c {
+            let pop = net.populations[i] as f64;
+            let mut cycle = 0.0;
+            for st in 0..m {
+                let e = net.visits[i][st];
+                if e == 0.0 {
+                    wait[i][st] = 0.0;
+                    continue;
+                }
+                let s = net.stations[st].service;
+                let w = match (net.stations[st].discipline, memory_node[st]) {
+                    (Discipline::Delay, _) => s,
+                    (Discipline::Queueing, Some(j)) if s > 0.0 => {
+                        if i == j {
+                            // High priority: own queue + residual low job.
+                            let n_high_seen = queue[i][st] * (pop - 1.0) / pop;
+                            s * (1.0 + n_high_seen) + s * rho_low[j].min(1.0)
+                        } else {
+                            // Low priority at the shadow server.
+                            let mut n_low_seen = 0.0;
+                            #[allow(clippy::needless_range_loop)]
+                            for other in 0..c {
+                                if other == j {
+                                    continue;
+                                }
+                                n_low_seen += if other == i {
+                                    queue[other][st] * (pop - 1.0) / pop
+                                } else {
+                                    queue[other][st]
+                                };
+                            }
+                            let slowdown = 1.0 - rho_high[j].min(MAX_SHADOW_UTIL);
+                            s / slowdown * (1.0 + n_low_seen)
+                        }
+                    }
+                    (Discipline::Queueing, _) => {
+                        let seen = totals[st] - queue[i][st] / pop;
+                        s * (1.0 + seen)
+                    }
+                };
+                wait[i][st] = w;
+                cycle += e * w;
+            }
+            let lam = pop / cycle;
+            throughput[i] = lam;
+            for st in 0..m {
+                let e = net.visits[i][st];
+                let n_new = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
+                residual = residual.max((n_new - queue[i][st]).abs());
+                next[i][st] = DAMPING * n_new + (1.0 - DAMPING) * queue[i][st];
+            }
+        }
+        std::mem::swap(&mut queue, &mut next);
+
+        if residual < opts.tolerance {
+            break;
+        }
+        if iterations >= opts.max_iterations {
+            return Err(LtError::NoConvergence {
+                solver: "priority-amva",
+                iterations,
+                residual,
+            });
+        }
+    }
+
+    Ok(MvaSolution {
+        throughput,
+        wait,
+        queue,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::report;
+    use crate::mva::amva;
+    use crate::params::SystemConfig;
+    use crate::qn::build::build_network;
+
+    fn reports(
+        cfg: &SystemConfig,
+    ) -> (
+        crate::metrics::PerformanceReport,
+        crate::metrics::PerformanceReport,
+    ) {
+        let mms = build_network(cfg).unwrap();
+        let fifo = report(&mms, &amva::solve(&mms.net).unwrap());
+        let prio = report(&mms, &solve(&mms).unwrap());
+        (fifo, prio)
+    }
+
+    #[test]
+    fn priority_reduces_local_memory_latency() {
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(0.5)
+            .with_switch_delay(0.0);
+        let (fifo, prio) = reports(&cfg);
+        assert!(
+            prio.l_obs_local < fifo.l_obs_local,
+            "priority {} !< fifo {}",
+            prio.l_obs_local,
+            fifo.l_obs_local
+        );
+        assert!(
+            prio.l_obs_remote > fifo.l_obs_remote,
+            "low priority must pay: {} !> {}",
+            prio.l_obs_remote,
+            fifo.l_obs_remote
+        );
+    }
+
+    #[test]
+    fn priority_is_roughly_work_conserving() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let (fifo, prio) = reports(&cfg);
+        let rel = (fifo.u_p - prio.u_p).abs() / fifo.u_p;
+        assert!(rel < 0.15, "fifo {} vs prio {}", fifo.u_p, prio.u_p);
+    }
+
+    #[test]
+    fn degenerates_to_fifo_without_remote_traffic() {
+        // With p_remote = 0 there is no low-priority class: the heuristic
+        // must coincide with plain Bard–Schweitzer.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.0);
+        let (fifo, prio) = reports(&cfg);
+        assert!((fifo.u_p - prio.u_p).abs() < 1e-6);
+        assert!((fifo.l_obs - prio.l_obs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn population_is_conserved() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.6);
+        let mms = build_network(&cfg).unwrap();
+        let sol = solve(&mms).unwrap();
+        assert!(sol.population_residual(&mms.net) < 1e-6);
+    }
+
+    #[test]
+    fn survives_heavy_high_priority_load() {
+        // Memory-bound with long local bursts: the shadow slowdown guard
+        // must keep the fixed point finite.
+        let cfg = SystemConfig::paper_default()
+            .with_memory_latency(4.0)
+            .with_p_remote(0.3)
+            .with_n_threads(12);
+        let mms = build_network(&cfg).unwrap();
+        let sol = solve(&mms).unwrap();
+        assert!(sol.throughput[0].is_finite() && sol.throughput[0] > 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Model parameters: the program workload and the machine architecture.
+//!
+//! Symbol correspondence with the paper (Table 5 of the original):
+//!
+//! | Paper | Here | Meaning |
+//! |-------|------|---------|
+//! | `n_t` | [`WorkloadParams::n_threads`] | threads per processor |
+//! | `R`   | [`WorkloadParams::runlength`] | mean thread runlength |
+//! | `C`   | [`WorkloadParams::context_switch`] | context-switch time |
+//! | `p_remote` | [`WorkloadParams::p_remote`] | probability an access is remote |
+//! | `p_sw` | [`AccessPattern::Geometric`] | geometric locality parameter |
+//! | `L`   | [`ArchParams::memory_latency`] | memory access time (no queueing) |
+//! | `S`   | [`ArchParams::switch_delay`] | per-switch routing delay |
+//! | `k`   | [`ArchParams::topology`] | PEs per torus dimension |
+
+use crate::error::{LtError, Result};
+use crate::topology::Topology;
+use crate::workload::AccessPattern;
+
+/// Program workload parameters (identical on every PE: SPMD assumption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of threads resident on each processor (`n_t ≥ 1`).
+    pub n_threads: usize,
+    /// Mean computation time of a thread between memory accesses (`R > 0`),
+    /// in cycles; includes the issue of the access.
+    pub runlength: f64,
+    /// Context-switch overhead added to every thread activation (`C ≥ 0`).
+    /// The paper's experiments use `C = 0`.
+    pub context_switch: f64,
+    /// Probability that a memory access targets a *remote* module.
+    pub p_remote: f64,
+    /// Distribution of remote accesses over the other nodes.
+    pub pattern: AccessPattern,
+}
+
+impl WorkloadParams {
+    /// Validate ranges; returns a message naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_threads == 0 {
+            return Err(LtError::InvalidConfig("n_threads must be >= 1".into()));
+        }
+        if !self.runlength.is_finite() || self.runlength <= 0.0 {
+            return Err(LtError::InvalidConfig(
+                "runlength (R) must be finite and > 0".into(),
+            ));
+        }
+        if !self.context_switch.is_finite() || self.context_switch < 0.0 {
+            return Err(LtError::InvalidConfig(
+                "context_switch (C) must be finite and >= 0".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.p_remote) {
+            return Err(LtError::InvalidConfig("p_remote must lie in [0, 1]".into()));
+        }
+        self.pattern.validate()
+    }
+
+    /// Effective processor occupancy per thread activation: `R + C`.
+    pub fn processor_service(&self) -> f64 {
+        self.runlength + self.context_switch
+    }
+}
+
+/// Machine architecture parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchParams {
+    /// The interconnect (the paper: `k × k` torus).
+    pub topology: Topology,
+    /// Memory access time `L` without queueing delay (`≥ 0`; `0` models an
+    /// ideal memory subsystem).
+    pub memory_latency: f64,
+    /// Routing delay `S` at each switch (`≥ 0`; `0` models an ideal network).
+    pub switch_delay: f64,
+    /// Number of concurrent ports on each memory module (extension;
+    /// the paper's machine has 1). Section 7 suggests multi-porting as a
+    /// remedy for local-memory contention under a very fast network.
+    pub memory_ports: usize,
+}
+
+impl ArchParams {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.topology.nodes() < 1 {
+            return Err(LtError::InvalidConfig(
+                "topology must have >= 1 node".into(),
+            ));
+        }
+        if !self.memory_latency.is_finite() || self.memory_latency < 0.0 {
+            return Err(LtError::InvalidConfig(
+                "memory_latency (L) must be finite and >= 0".into(),
+            ));
+        }
+        if !self.switch_delay.is_finite() || self.switch_delay < 0.0 {
+            return Err(LtError::InvalidConfig(
+                "switch_delay (S) must be finite and >= 0".into(),
+            ));
+        }
+        if self.memory_ports == 0 {
+            return Err(LtError::InvalidConfig("memory_ports must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A complete, validated model instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Program workload (identical per PE).
+    pub workload: WorkloadParams,
+    /// Machine architecture.
+    pub arch: ArchParams,
+}
+
+impl SystemConfig {
+    /// The paper's default setting (Table 1, digits recovered as documented
+    /// in DESIGN.md): 4×4 torus, `n_t = 8`, `R = 1`, `C = 0`,
+    /// `p_remote = 0.2`, geometric pattern with `p_sw = 0.5`
+    /// (`d_avg = 1.733`), `L = 1`, `S = 1`.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            workload: WorkloadParams {
+                n_threads: 8,
+                runlength: 1.0,
+                context_switch: 0.0,
+                p_remote: 0.2,
+                pattern: AccessPattern::geometric(0.5),
+            },
+            arch: ArchParams {
+                topology: Topology::torus(4),
+                memory_latency: 1.0,
+                switch_delay: 1.0,
+                memory_ports: 1,
+            },
+        }
+    }
+
+    /// Validate both halves.
+    pub fn validate(&self) -> Result<()> {
+        self.workload.validate()?;
+        self.arch.validate()?;
+        if self.arch.topology.nodes() == 1 && self.workload.p_remote > 0.0 {
+            return Err(LtError::InvalidConfig(
+                "p_remote > 0 requires more than one node".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of processing elements `P`.
+    pub fn nodes(&self) -> usize {
+        self.arch.topology.nodes()
+    }
+
+    // ------------------------------------------------------------------
+    // Builder-style modifiers, used heavily by sweeps and the tolerance
+    // machinery. Each returns a modified clone.
+    // ------------------------------------------------------------------
+
+    /// Clone with a different thread count.
+    pub fn with_n_threads(&self, n_t: usize) -> Self {
+        let mut c = self.clone();
+        c.workload.n_threads = n_t;
+        c
+    }
+
+    /// Clone with a different runlength.
+    pub fn with_runlength(&self, r: f64) -> Self {
+        let mut c = self.clone();
+        c.workload.runlength = r;
+        c
+    }
+
+    /// Clone with a different remote-access probability.
+    pub fn with_p_remote(&self, p: f64) -> Self {
+        let mut c = self.clone();
+        c.workload.p_remote = p;
+        c
+    }
+
+    /// Clone with a different access pattern.
+    pub fn with_pattern(&self, pattern: AccessPattern) -> Self {
+        let mut c = self.clone();
+        c.workload.pattern = pattern;
+        c
+    }
+
+    /// Clone with a different switch delay.
+    pub fn with_switch_delay(&self, s: f64) -> Self {
+        let mut c = self.clone();
+        c.arch.switch_delay = s;
+        c
+    }
+
+    /// Clone with a different memory latency.
+    pub fn with_memory_latency(&self, l: f64) -> Self {
+        let mut c = self.clone();
+        c.arch.memory_latency = l;
+        c
+    }
+
+    /// Clone with a different topology.
+    pub fn with_topology(&self, topology: Topology) -> Self {
+        let mut c = self.clone();
+        c.arch.topology = topology;
+        c
+    }
+
+    /// Clone with a different memory port count.
+    pub fn with_memory_ports(&self, ports: usize) -> Self {
+        let mut c = self.clone();
+        c.arch.memory_ports = ports;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        SystemConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let base = SystemConfig::paper_default();
+        assert!(base.with_p_remote(1.5).validate().is_err());
+        assert!(base.with_p_remote(-0.1).validate().is_err());
+        assert!(base.with_runlength(0.0).validate().is_err());
+        assert!(base.with_runlength(f64::NAN).validate().is_err());
+        assert!(base.with_n_threads(0).validate().is_err());
+        assert!(base.with_switch_delay(-1.0).validate().is_err());
+        assert!(base.with_memory_latency(f64::INFINITY).validate().is_err());
+        assert!(base.with_memory_ports(0).validate().is_err());
+    }
+
+    #[test]
+    fn zero_delays_are_valid_ideal_systems() {
+        let base = SystemConfig::paper_default();
+        base.with_switch_delay(0.0).validate().unwrap();
+        base.with_memory_latency(0.0).validate().unwrap();
+        base.with_p_remote(0.0).validate().unwrap();
+    }
+
+    #[test]
+    fn single_node_requires_all_local() {
+        let base = SystemConfig::paper_default().with_topology(Topology::torus(1));
+        assert!(base.validate().is_err());
+        assert!(base.with_p_remote(0.0).validate().is_ok());
+    }
+}

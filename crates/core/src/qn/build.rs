@@ -1,0 +1,373 @@
+//! Construction of the MMS closed queueing network (paper Section 2).
+//!
+//! Station layout for a `P`-node machine (indices into
+//! [`ClosedNetwork::stations`]):
+//!
+//! * `0   .. P`   — processors (`proc[j]`), service `R + C`,
+//! * `P   .. 2P`  — memory modules (`mem[j]`), service `L` (or `L/c` with
+//!   `c` memory ports, plus a compensating delay station — the Seidmann
+//!   transformation),
+//! * `2P  .. 3P`  — inbound switches (`in[j]`), service `S`,
+//! * `3P  .. 4P`  — outbound switches (`out[j]`), service `S`,
+//! * `4P  .. 5P`  — only when `memory_ports > 1`: per-node delay stations
+//!   absorbing the non-queueing part of a multi-port memory's service.
+//!
+//! Classes: one per processor, population `n_t`. Class `i`'s reference
+//! station is `proc[i]` (visit ratio 1), so the MVA throughput `λ_i` is the
+//! rate at which processor `i` completes thread activations — the paper's
+//! rate of memory-access issues.
+//!
+//! Visit ratios per thread cycle of class `i`:
+//!
+//! * `em[i][j]` — memory `j`: `1 − p_remote` locally, `p_remote · q_i(j)`
+//!   remotely (`Σ_j em[i][j] = 1`).
+//! * `eo[i][j]` — outbound switch `j`: the request leaves through
+//!   `out[i]` (`eo[i][i] = p_remote`) and the response through `out[j]`
+//!   (`eo[i][j] = em[i][j]`, `j ≠ i`) — the paper's observation that every
+//!   remote access passing `out[j]` is served by memory `j`.
+//! * `ei[i][j]` — inbound switch `j`: the number of times routes `i→m`
+//!   (request) and `m→i` (response) *enter* node `j`, weighted by
+//!   `em[i][m]`. A round trip over distance `h` makes `2h` inbound and `2`
+//!   outbound visits, i.e. `2(h+1)` switch services — the `2(d_avg+1)·S`
+//!   term of the paper's Equation 5.
+
+use crate::error::Result;
+use crate::params::SystemConfig;
+use crate::qn::{ClosedNetwork, Station};
+use crate::topology::NodeId;
+
+/// What role a station plays in the MMS network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StationKind {
+    /// Multithreaded processor at a node.
+    Processor(NodeId),
+    /// Memory module at a node.
+    Memory(NodeId),
+    /// Inbound network switch at a node.
+    InSwitch(NodeId),
+    /// Outbound network switch at a node.
+    OutSwitch(NodeId),
+    /// Residual delay of a multi-ported memory (extension only).
+    MemoryDelay(NodeId),
+}
+
+/// Index arithmetic for the fixed station layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StationIndex {
+    /// Number of nodes.
+    pub p: usize,
+    /// Whether the `mem-delay` block exists.
+    pub has_memory_delay: bool,
+}
+
+impl StationIndex {
+    /// Station index of `proc[node]`.
+    pub fn proc(&self, node: NodeId) -> usize {
+        node
+    }
+    /// Station index of `mem[node]`.
+    pub fn mem(&self, node: NodeId) -> usize {
+        self.p + node
+    }
+    /// Station index of `in[node]`.
+    pub fn insw(&self, node: NodeId) -> usize {
+        2 * self.p + node
+    }
+    /// Station index of `out[node]`.
+    pub fn outsw(&self, node: NodeId) -> usize {
+        3 * self.p + node
+    }
+    /// Station index of `mem-delay[node]` (only if `has_memory_delay`).
+    pub fn mem_delay(&self, node: NodeId) -> usize {
+        debug_assert!(self.has_memory_delay);
+        4 * self.p + node
+    }
+    /// Total number of stations.
+    pub fn count(&self) -> usize {
+        if self.has_memory_delay {
+            5 * self.p
+        } else {
+            4 * self.p
+        }
+    }
+    /// Classify a raw station index.
+    pub fn kind(&self, station: usize) -> StationKind {
+        let (block, node) = (station / self.p, station % self.p);
+        match block {
+            0 => StationKind::Processor(node),
+            1 => StationKind::Memory(node),
+            2 => StationKind::InSwitch(node),
+            3 => StationKind::OutSwitch(node),
+            4 if self.has_memory_delay => StationKind::MemoryDelay(node),
+            _ => panic!("station index {station} out of range"),
+        }
+    }
+}
+
+/// The MMS network: the generic [`ClosedNetwork`] plus the MMS-specific
+/// bookkeeping (visit-ratio blocks, index map, per-class `d_avg`) that the
+/// metric extraction in [`crate::metrics`] needs.
+#[derive(Debug, Clone)]
+pub struct MmsNetwork {
+    /// The configuration this network was built from.
+    pub cfg: SystemConfig,
+    /// Solver-facing network.
+    pub net: ClosedNetwork,
+    /// Station index arithmetic.
+    pub idx: StationIndex,
+    /// `em[class][node]`: memory visit ratios.
+    pub em: Vec<Vec<f64>>,
+    /// `ei[class][node]`: inbound-switch visit ratios.
+    pub ei: Vec<Vec<f64>>,
+    /// `eo[class][node]`: outbound-switch visit ratios.
+    pub eo: Vec<Vec<f64>>,
+    /// Average remote-access distance per class.
+    pub d_avg: Vec<f64>,
+}
+
+impl MmsNetwork {
+    /// Whether every class sees an identical (translated) network, enabling
+    /// the symmetric solver fast path: the topology must be
+    /// vertex-transitive *and* the access pattern translation invariant.
+    pub fn is_symmetric(&self) -> bool {
+        self.cfg.arch.topology.is_vertex_transitive()
+            && self.cfg.workload.pattern.is_translation_invariant()
+    }
+}
+
+/// Build the MMS closed queueing network from a validated configuration.
+pub fn build_network(cfg: &SystemConfig) -> Result<MmsNetwork> {
+    cfg.validate()?;
+    let topo = cfg.arch.topology;
+    let p = topo.nodes();
+    let ports = cfg.arch.memory_ports;
+    let has_memory_delay = ports > 1;
+    let idx = StationIndex {
+        p,
+        has_memory_delay,
+    };
+
+    // --- stations -------------------------------------------------------
+    let mut stations = Vec::with_capacity(idx.count());
+    let proc_service = cfg.workload.processor_service();
+    for j in 0..p {
+        stations.push(Station::queueing(format!("proc[{j}]"), proc_service));
+    }
+    // Seidmann transformation for c-port memory: a queueing station with
+    // service L/c plus a delay station with service L(c-1)/c. For c = 1
+    // this degenerates to the plain L queueing station.
+    let l = cfg.arch.memory_latency;
+    let mem_service = l / ports as f64;
+    for j in 0..p {
+        stations.push(Station::queueing(format!("mem[{j}]"), mem_service));
+    }
+    let s = cfg.arch.switch_delay;
+    for j in 0..p {
+        stations.push(Station::queueing(format!("in[{j}]"), s));
+    }
+    for j in 0..p {
+        stations.push(Station::queueing(format!("out[{j}]"), s));
+    }
+    if has_memory_delay {
+        let residual = l * (ports as f64 - 1.0) / ports as f64;
+        for j in 0..p {
+            stations.push(Station::delay(format!("mem-delay[{j}]"), residual));
+        }
+    }
+
+    // --- visit ratios ----------------------------------------------------
+    let p_remote = cfg.workload.p_remote;
+    let mut em = vec![vec![0.0; p]; p];
+    let mut ei = vec![vec![0.0; p]; p];
+    let mut eo = vec![vec![0.0; p]; p];
+    let mut d_avg = vec![0.0; p];
+
+    for i in 0..p {
+        em[i][i] = 1.0 - p_remote;
+        if p_remote > 0.0 {
+            let q = cfg.workload.pattern.remote_probs(&topo, i);
+            eo[i][i] = p_remote;
+            for j in 0..p {
+                if j == i || q[j] == 0.0 {
+                    continue;
+                }
+                let weight = p_remote * q[j];
+                em[i][j] = weight;
+                eo[i][j] += weight;
+                d_avg[i] += q[j] * topo.distance(i, j) as f64;
+                // Request i -> j: inbound switch of every node entered.
+                for &n in &topo.route(i, j) {
+                    ei[i][n] += weight;
+                }
+                // Response j -> i: likewise, ending at in[i].
+                for &n in &topo.route(j, i) {
+                    ei[i][n] += weight;
+                }
+            }
+        }
+    }
+
+    // --- assemble the visits matrix --------------------------------------
+    let mut visits = vec![vec![0.0; idx.count()]; p];
+    for i in 0..p {
+        visits[i][idx.proc(i)] = 1.0;
+        for j in 0..p {
+            visits[i][idx.mem(j)] = em[i][j];
+            visits[i][idx.insw(j)] = ei[i][j];
+            visits[i][idx.outsw(j)] = eo[i][j];
+            if has_memory_delay {
+                visits[i][idx.mem_delay(j)] = em[i][j];
+            }
+        }
+    }
+
+    let net = ClosedNetwork {
+        stations,
+        populations: vec![cfg.workload.n_threads; p],
+        visits,
+    };
+    net.validate()?;
+    Ok(MmsNetwork {
+        cfg: cfg.clone(),
+        net,
+        idx,
+        em,
+        ei,
+        eo,
+        d_avg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SystemConfig;
+    use crate::topology::Topology;
+    use crate::workload::AccessPattern;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn memory_visits_sum_to_one() {
+        let mms = build_network(&SystemConfig::paper_default()).unwrap();
+        for i in 0..mms.cfg.nodes() {
+            assert_close(mms.em[i].iter().sum::<f64>(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn outbound_visits_sum_to_twice_p_remote() {
+        let cfg = SystemConfig::paper_default();
+        let mms = build_network(&cfg).unwrap();
+        for i in 0..cfg.nodes() {
+            assert_close(
+                mms.eo[i].iter().sum::<f64>(),
+                2.0 * cfg.workload.p_remote,
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn inbound_visits_sum_to_twice_p_remote_d_avg() {
+        let cfg = SystemConfig::paper_default();
+        let mms = build_network(&cfg).unwrap();
+        for i in 0..cfg.nodes() {
+            assert_close(
+                mms.ei[i].iter().sum::<f64>(),
+                2.0 * cfg.workload.p_remote * mms.d_avg[i],
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn d_avg_matches_pattern_value() {
+        let cfg = SystemConfig::paper_default();
+        let mms = build_network(&cfg).unwrap();
+        let expect = cfg.workload.pattern.d_avg(&cfg.arch.topology, 0);
+        assert_close(mms.d_avg[0], expect, 1e-12);
+        assert_close(mms.d_avg[0], 1.7333333333, 1e-6);
+    }
+
+    #[test]
+    fn local_only_workload_has_no_switch_visits() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.0);
+        let mms = build_network(&cfg).unwrap();
+        for i in 0..cfg.nodes() {
+            assert!(mms.ei[i].iter().all(|&v| v == 0.0));
+            assert!(mms.eo[i].iter().all(|&v| v == 0.0));
+            assert_close(mms.em[i][i], 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn visits_are_translation_invariant_on_torus() {
+        let cfg = SystemConfig::paper_default();
+        let topo = cfg.arch.topology;
+        let mms = build_network(&cfg).unwrap();
+        for i in 0..cfg.nodes() {
+            for j in 0..cfg.nodes() {
+                // class i at node j == class 0 at node (j - i).
+                let base = topo.untranslate(j, i);
+                assert_close(mms.em[i][j], mms.em[0][base], 1e-12);
+                assert_close(mms.ei[i][j], mms.ei[0][base], 1e-12);
+                assert_close(mms.eo[i][j], mms.eo[0][base], 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_pattern_balances_switch_load() {
+        let cfg = SystemConfig::paper_default().with_pattern(AccessPattern::Uniform);
+        let mms = build_network(&cfg).unwrap();
+        // Total inbound load per switch (summed over classes) must be equal
+        // by symmetry of the torus + uniform pattern + invariant routing.
+        let p = cfg.nodes();
+        let mut totals = vec![0.0; p];
+        for i in 0..p {
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..p {
+                totals[j] += mms.ei[i][j];
+            }
+        }
+        for j in 1..p {
+            assert_close(totals[j], totals[0], 1e-9);
+        }
+    }
+
+    #[test]
+    fn station_count_and_kinds() {
+        let cfg = SystemConfig::paper_default();
+        let mms = build_network(&cfg).unwrap();
+        assert_eq!(mms.net.n_stations(), 64);
+        assert_eq!(mms.idx.kind(0), StationKind::Processor(0));
+        assert_eq!(mms.idx.kind(16), StationKind::Memory(0));
+        assert_eq!(mms.idx.kind(35), StationKind::InSwitch(3));
+        assert_eq!(mms.idx.kind(63), StationKind::OutSwitch(15));
+    }
+
+    #[test]
+    fn multi_port_memory_adds_delay_block() {
+        let cfg = SystemConfig::paper_default().with_memory_ports(2);
+        let mms = build_network(&cfg).unwrap();
+        assert_eq!(mms.net.n_stations(), 80);
+        let mem = &mms.net.stations[mms.idx.mem(0)];
+        assert_close(mem.service, 0.5, 1e-12);
+        let delay = &mms.net.stations[mms.idx.mem_delay(0)];
+        assert_close(delay.service, 0.5, 1e-12);
+        assert_eq!(delay.discipline, crate::qn::Discipline::Delay);
+    }
+
+    #[test]
+    fn mesh_topology_builds() {
+        let cfg = SystemConfig::paper_default().with_topology(Topology::mesh(3));
+        let mms = build_network(&cfg).unwrap();
+        assert!(!mms.is_symmetric());
+        for i in 0..cfg.with_topology(Topology::mesh(3)).nodes() {
+            assert_close(mms.em[i].iter().sum::<f64>(), 1.0, 1e-12);
+        }
+    }
+}

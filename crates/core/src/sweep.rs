@@ -1,0 +1,119 @@
+//! Parallel parameter sweeps.
+//!
+//! The evaluation regenerates surfaces over hundreds of configurations;
+//! each solve is independent, so a static partition over OS threads (std
+//! scoped threads — no extra dependencies) is all that is needed.
+
+use std::num::NonZeroUsize;
+
+/// Apply `f` to every item, in parallel, preserving order.
+///
+/// Work is split into contiguous chunks, one per available core (capped by
+/// the item count). For the near-uniform costs of MVA solves this static
+/// schedule is within noise of dynamic scheduling.
+pub fn parallel_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("all chunks filled"))
+        .collect()
+}
+
+/// Cartesian product of two parameter axes, row-major (`a` outer).
+pub fn grid<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Evenly spaced floating-point axis: `n` points from `lo` to `hi`
+/// inclusive (`n >= 2`), or just `[lo]` when `n == 1`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 1);
+    if n == 1 {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential_on_solves() {
+        use crate::analysis::solve;
+        use crate::params::SystemConfig;
+        let cfgs: Vec<_> = (1..=6)
+            .map(|n| SystemConfig::paper_default().with_n_threads(n))
+            .collect();
+        let par = parallel_map(&cfgs, |c| solve(c).unwrap().u_p);
+        let seq: Vec<_> = cfgs.iter().map(|c| solve(c).unwrap().u_p).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let g = grid(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], (1, "a"));
+        assert_eq!(g[2], (1, "c"));
+        assert_eq!(g[3], (2, "a"));
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 0.0).abs() < 1e-15);
+        assert!((v[4] - 1.0).abs() < 1e-15);
+        assert!((v[2] - 0.5).abs() < 1e-15);
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+    }
+}

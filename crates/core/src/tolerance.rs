@@ -1,0 +1,220 @@
+//! The tolerance index (paper Section 4, Definitions 4.1–4.3).
+//!
+//! *Latency tolerance* is the degree to which system performance is close
+//! to that of an **ideal system** — one whose subsystem under study has
+//! zero delay. The **tolerance index** is the ratio of processor
+//! utilizations:
+//!
+//! ```text
+//! tol_subsystem = U_p(subsystem) / U_p(ideal subsystem)
+//! ```
+//!
+//! The paper names two ways to construct the ideal system and uses both:
+//!
+//! * **Modify system parameters** ([`IdealSpec::ZeroSwitchDelay`],
+//!   [`IdealSpec::ZeroMemoryDelay`]): set `S = 0` (resp. `L = 0`). This is
+//!   the definition behind Section 7's "ideal (very fast) network", and the
+//!   one under which `tol > 1` can occur — a finite-delay network can act
+//!   as a distributed pipeline buffer that relieves memory contention,
+//!   beating the zero-delay network by up to ~5%.
+//! * **Modify application parameters** ([`IdealSpec::AllLocal`]): set
+//!   `p_remote = 0`, removing network traffic without touching the machine
+//!   — applicable to measurements on real systems.
+//!
+//! Zone thresholds follow the paper: tolerated at `tol ≥ 0.8`, partially
+//! tolerated at `0.5 ≤ tol < 0.8`, not tolerated below `0.5`.
+
+use crate::analysis::{solve_with, SolverChoice};
+use crate::error::Result;
+use crate::params::SystemConfig;
+
+/// Threshold above which a latency counts as tolerated.
+pub const TOLERATED_THRESHOLD: f64 = 0.8;
+/// Threshold above which a latency counts as partially tolerated.
+pub const PARTIAL_THRESHOLD: f64 = 0.5;
+
+/// How to construct the ideal system for the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdealSpec {
+    /// Ideal network: switches with zero routing delay (`S = 0`).
+    ZeroSwitchDelay,
+    /// Ideal memory: modules with zero access time (`L = 0`).
+    ZeroMemoryDelay,
+    /// Application-side ideal: no remote accesses (`p_remote = 0`).
+    AllLocal,
+}
+
+impl IdealSpec {
+    /// The ideal-system configuration corresponding to `cfg`.
+    pub fn ideal_config(&self, cfg: &SystemConfig) -> SystemConfig {
+        match self {
+            IdealSpec::ZeroSwitchDelay => cfg.with_switch_delay(0.0),
+            IdealSpec::ZeroMemoryDelay => cfg.with_memory_latency(0.0),
+            IdealSpec::AllLocal => cfg.with_p_remote(0.0),
+        }
+    }
+
+    /// Short label used in tables ("network", "memory", "all-local").
+    pub fn label(&self) -> &'static str {
+        match self {
+            IdealSpec::ZeroSwitchDelay => "network",
+            IdealSpec::ZeroMemoryDelay => "memory",
+            IdealSpec::AllLocal => "all-local",
+        }
+    }
+}
+
+/// The paper's three performance zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToleranceZone {
+    /// `tol ≥ 0.8`: the latency is tolerated.
+    Tolerated,
+    /// `0.5 ≤ tol < 0.8`: partially tolerated.
+    PartiallyTolerated,
+    /// `tol < 0.5`: not tolerated — the subsystem is a bottleneck.
+    NotTolerated,
+}
+
+impl ToleranceZone {
+    /// Classify a tolerance index.
+    pub fn from_index(tol: f64) -> Self {
+        if tol >= TOLERATED_THRESHOLD {
+            ToleranceZone::Tolerated
+        } else if tol >= PARTIAL_THRESHOLD {
+            ToleranceZone::PartiallyTolerated
+        } else {
+            ToleranceZone::NotTolerated
+        }
+    }
+
+    /// Human-readable name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ToleranceZone::Tolerated => "tolerated",
+            ToleranceZone::PartiallyTolerated => "partially tolerated",
+            ToleranceZone::NotTolerated => "not tolerated",
+        }
+    }
+}
+
+/// Result of a tolerance-index computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToleranceReport {
+    /// `U_p / U_p(ideal)`. May exceed 1 (Section 7's pipeline effect).
+    pub index: f64,
+    /// Utilization of the real system.
+    pub u_p: f64,
+    /// Utilization of the ideal system.
+    pub u_p_ideal: f64,
+    /// Zone classification of `index`.
+    pub zone: ToleranceZone,
+    /// Which ideal system was used.
+    pub spec: IdealSpec,
+}
+
+/// Tolerance index of `cfg` against the given ideal, with the default
+/// (auto) solver.
+pub fn tolerance_index(cfg: &SystemConfig, spec: IdealSpec) -> Result<ToleranceReport> {
+    tolerance_index_with(cfg, spec, SolverChoice::Auto)
+}
+
+/// [`tolerance_index`] with an explicit solver choice (both the real and
+/// the ideal system are solved with the same solver).
+pub fn tolerance_index_with(
+    cfg: &SystemConfig,
+    spec: IdealSpec,
+    choice: SolverChoice,
+) -> Result<ToleranceReport> {
+    let real = solve_with(cfg, choice)?;
+    let ideal = solve_with(&spec.ideal_config(cfg), choice)?;
+    let index = real.u_p / ideal.u_p;
+    Ok(ToleranceReport {
+        index,
+        u_p: real.u_p,
+        u_p_ideal: ideal.u_p,
+        zone: ToleranceZone::from_index(index),
+        spec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zones_classify_correctly() {
+        assert_eq!(ToleranceZone::from_index(1.0), ToleranceZone::Tolerated);
+        assert_eq!(ToleranceZone::from_index(0.8), ToleranceZone::Tolerated);
+        assert_eq!(
+            ToleranceZone::from_index(0.79),
+            ToleranceZone::PartiallyTolerated
+        );
+        assert_eq!(
+            ToleranceZone::from_index(0.5),
+            ToleranceZone::PartiallyTolerated
+        );
+        assert_eq!(ToleranceZone::from_index(0.49), ToleranceZone::NotTolerated);
+    }
+
+    #[test]
+    fn default_workload_tolerates_network() {
+        // Paper Section 5: at n_t = 8, p_remote = 0.2, the network latency
+        // is tolerated (tol ≈ 0.93 in Table 2's narrative).
+        let cfg = SystemConfig::paper_default();
+        let t = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).unwrap();
+        assert!(t.index > 0.8, "tol_network = {}", t.index);
+        assert_eq!(t.zone, ToleranceZone::Tolerated);
+    }
+
+    #[test]
+    fn heavy_remote_traffic_is_not_tolerated() {
+        // Past network saturation (p_remote >> 0.3 at R = 1) the network
+        // latency cannot be tolerated.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.9);
+        let t = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).unwrap();
+        assert!(t.index < 0.5, "tol_network = {}", t.index);
+        assert_eq!(t.zone, ToleranceZone::NotTolerated);
+    }
+
+    #[test]
+    fn ideal_system_has_tolerance_one() {
+        // Computing tolerance of an already-ideal system must give 1.
+        let cfg = SystemConfig::paper_default().with_switch_delay(0.0);
+        let t = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).unwrap();
+        assert!((t.index - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_local_ideal_differs_from_zero_switch() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let a = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).unwrap();
+        let b = tolerance_index(&cfg, IdealSpec::AllLocal).unwrap();
+        assert!((a.u_p_ideal - b.u_p_ideal).abs() > 1e-6);
+        assert_eq!(a.u_p, b.u_p, "the real system is the same");
+    }
+
+    #[test]
+    fn higher_runlength_improves_network_tolerance() {
+        // Paper Section 5: "An increase in R ... tol_network increases".
+        let base = SystemConfig::paper_default().with_p_remote(0.4);
+        let t1 = tolerance_index(&base, IdealSpec::ZeroSwitchDelay).unwrap();
+        let t2 = tolerance_index(&base.with_runlength(2.0), IdealSpec::ZeroSwitchDelay).unwrap();
+        assert!(t2.index > t1.index);
+    }
+
+    #[test]
+    fn memory_tolerance_high_when_runlength_dominates() {
+        // Paper Section 6: for R >> L, tol_memory saturates at ~1.
+        let cfg = SystemConfig::paper_default().with_runlength(10.0);
+        let t = tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).unwrap();
+        assert!(t.index > 0.9, "tol_memory = {}", t.index);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(IdealSpec::ZeroSwitchDelay.label(), "network");
+        assert_eq!(IdealSpec::ZeroMemoryDelay.label(), "memory");
+        assert_eq!(IdealSpec::AllLocal.label(), "all-local");
+        assert_eq!(ToleranceZone::Tolerated.label(), "tolerated");
+    }
+}

@@ -1,0 +1,448 @@
+//! Interconnection-network topologies.
+//!
+//! The paper's machine is a 2-dimensional **torus** of `k × k` processing
+//! elements ([`Topology::torus`]). Extensions beyond the paper:
+//!
+//! * rectangular `kx × ky` tori ([`Topology::rect_torus`]), including the
+//!   degenerate 1-D **ring** ([`Topology::ring`]) — everything in the
+//!   paper's analysis depends on the interconnect only through distances
+//!   and routes, so these drop straight in;
+//! * a 2-D **mesh** without wraparound links ([`Topology::mesh`]), which
+//!   is *not* vertex-transitive, so the symmetric solver fast path refuses
+//!   it.
+//!
+//! Routing is dimension-ordered (X first, then Y) along the shorter
+//! direction; on a torus with even `k`, an offset of exactly `k/2` is a tie
+//! which we break toward the positive direction. Because the tie-break is
+//! translation-invariant, routes (and hence switch visit ratios) are
+//! preserved under node translation — the property the symmetric solver and
+//! the SPMD workload assumption rely on.
+
+/// Identifier of a processing element: `0 ..= P-1`, row-major over `(x, y)`.
+pub type NodeId = usize;
+
+/// The flavor of 2-D grid interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridKind {
+    /// Wraparound links in both dimensions (the paper's machine).
+    Torus,
+    /// No wraparound links (extension).
+    Mesh,
+}
+
+/// A `kx × ky` two-dimensional grid interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    kx: usize,
+    ky: usize,
+    kind: GridKind,
+}
+
+impl Topology {
+    /// A square `k × k` torus (the paper's interconnect). Panics if `k < 1`.
+    pub fn torus(k: usize) -> Self {
+        Self::rect_torus(k, k)
+    }
+
+    /// A rectangular `kx × ky` torus (extension). Panics on zero dims.
+    pub fn rect_torus(kx: usize, ky: usize) -> Self {
+        assert!(kx >= 1 && ky >= 1, "torus dimensions must be at least 1");
+        Topology {
+            kx,
+            ky,
+            kind: GridKind::Torus,
+        }
+    }
+
+    /// A 1-D ring of `n` PEs (extension). Panics if `n < 1`.
+    pub fn ring(n: usize) -> Self {
+        Self::rect_torus(n, 1)
+    }
+
+    /// A square `k × k` mesh without wraparound (extension).
+    /// Panics if `k < 1`.
+    pub fn mesh(k: usize) -> Self {
+        assert!(k >= 1, "mesh dimension must be at least 1");
+        Topology {
+            kx: k,
+            ky: k,
+            kind: GridKind::Mesh,
+        }
+    }
+
+    /// Number of PEs along the x dimension (`k` for square grids).
+    pub fn k(&self) -> usize {
+        self.kx
+    }
+
+    /// Number of PEs along the y dimension.
+    pub fn ky(&self) -> usize {
+        self.ky
+    }
+
+    /// Which grid flavor this is.
+    pub fn kind(&self) -> GridKind {
+        self.kind
+    }
+
+    /// Total number of processing elements `P = kx · ky`.
+    pub fn nodes(&self) -> usize {
+        self.kx * self.ky
+    }
+
+    /// Whether every node sees an identical network (translation symmetry).
+    pub fn is_vertex_transitive(&self) -> bool {
+        self.kind == GridKind::Torus
+    }
+
+    /// Coordinates `(x, y)` of a node.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        debug_assert!(node < self.nodes());
+        (node % self.kx, node / self.kx)
+    }
+
+    /// Node at coordinates `(x, y)`.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        debug_assert!(x < self.kx && y < self.ky);
+        y * self.kx + x
+    }
+
+    /// Signed one-dimension offset from `a` to `b` along the route
+    /// (shortest direction; positive tie-break on even-`k` torus).
+    fn dim_offset(&self, a: usize, b: usize, k: usize) -> isize {
+        let k = k as isize;
+        let (a, b) = (a as isize, b as isize);
+        match self.kind {
+            GridKind::Mesh => b - a,
+            GridKind::Torus => {
+                let fwd = (b - a).rem_euclid(k); // 0..k-1, steps in +direction
+                let bwd = fwd - k; // negative, steps in -direction
+                                   // Shortest; tie (fwd == k/2 for even k) broken positive.
+                if fwd <= -bwd {
+                    fwd
+                } else {
+                    bwd
+                }
+            }
+        }
+    }
+
+    /// Hop distance between two nodes (minimum number of links).
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (self.dim_offset(ax, bx, self.kx).unsigned_abs())
+            + (self.dim_offset(ay, by, self.ky).unsigned_abs())
+    }
+
+    /// Maximum distance between any pair of nodes (`d_max`).
+    pub fn max_distance(&self) -> usize {
+        match self.kind {
+            GridKind::Torus => self.kx / 2 + self.ky / 2,
+            GridKind::Mesh => (self.kx - 1) + (self.ky - 1),
+        }
+    }
+
+    /// `hist[h]` = number of nodes at distance `h` from `src`
+    /// (index 0 counts `src` itself; length `max_distance() + 1`).
+    pub fn distance_histogram(&self, src: NodeId) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_distance() + 1];
+        for node in 0..self.nodes() {
+            hist[self.distance(src, node)] += 1;
+        }
+        hist
+    }
+
+    /// Dimension-ordered route from `src` to `dst`: the sequence of nodes
+    /// *entered* along the way (source excluded, destination included).
+    /// Empty when `src == dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = Vec::with_capacity(self.distance(src, dst));
+        let (mut x, mut y) = (sx as isize, sy as isize);
+
+        let off_x = self.dim_offset(sx, dx, self.kx);
+        let step = off_x.signum();
+        for _ in 0..off_x.abs() {
+            x = (x + step).rem_euclid(self.kx as isize);
+            path.push(self.node_at(x as usize, y as usize));
+        }
+        let off_y = self.dim_offset(sy, dy, self.ky);
+        let step = off_y.signum();
+        for _ in 0..off_y.abs() {
+            y = (y + step).rem_euclid(self.ky as isize);
+            path.push(self.node_at(x as usize, y as usize));
+        }
+        path
+    }
+
+    /// The next node a message at `src` heads to on its way to `dst`
+    /// (dimension-ordered; `None` when already there). Routes computed by
+    /// repeated `next_hop` are identical to [`Topology::route`].
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        if src == dst {
+            return None;
+        }
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let off_x = self.dim_offset(sx, dx, self.kx);
+        if off_x != 0 {
+            let x = (sx as isize + off_x.signum()).rem_euclid(self.kx as isize);
+            return Some(self.node_at(x as usize, sy));
+        }
+        let off_y = self.dim_offset(sy, dy, self.ky);
+        let y = (sy as isize + off_y.signum()).rem_euclid(self.ky as isize);
+        Some(self.node_at(sx, y as usize))
+    }
+
+    /// Translate `node` by the coordinate vector of `delta`
+    /// (torus only; used by the symmetric solver).
+    pub fn translate(&self, node: NodeId, delta: NodeId) -> NodeId {
+        debug_assert!(self.kind == GridKind::Torus, "translation requires a torus");
+        let (nx, ny) = self.coords(node);
+        let (dx, dy) = self.coords(delta);
+        self.node_at((nx + dx) % self.kx, (ny + dy) % self.ky)
+    }
+
+    /// Inverse translation: the node `u` with `translate(u, delta) == node`.
+    pub fn untranslate(&self, node: NodeId, delta: NodeId) -> NodeId {
+        debug_assert!(self.kind == GridKind::Torus);
+        let (nx, ny) = self.coords(node);
+        let (dx, dy) = self.coords(delta);
+        self.node_at(
+            (nx + self.kx - dx % self.kx) % self.kx,
+            (ny + self.ky - dy % self.ky) % self.ky,
+        )
+    }
+
+    /// The four (or fewer, on a mesh border) neighboring nodes.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let (x, y) = self.coords(node);
+        let (kx, ky) = (self.kx, self.ky);
+        let mut out = Vec::with_capacity(4);
+        match self.kind {
+            GridKind::Torus => {
+                if kx > 1 {
+                    out.push(self.node_at((x + 1) % kx, y));
+                    out.push(self.node_at((x + kx - 1) % kx, y));
+                }
+                if ky > 1 {
+                    out.push(self.node_at(x, (y + 1) % ky));
+                    out.push(self.node_at(x, (y + ky - 1) % ky));
+                }
+                out.sort_unstable();
+                out.dedup();
+                out.retain(|&n| n != node);
+            }
+            GridKind::Mesh => {
+                if x + 1 < kx {
+                    out.push(self.node_at(x + 1, y));
+                }
+                if x > 0 {
+                    out.push(self.node_at(x - 1, y));
+                }
+                if y + 1 < ky {
+                    out.push(self.node_at(x, y + 1));
+                }
+                if y > 0 {
+                    out.push(self.node_at(x, y - 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_4x4_distances() {
+        let t = Topology::torus(4);
+        assert_eq!(t.nodes(), 16);
+        assert_eq!(t.max_distance(), 4);
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.distance(0, 1), 1);
+        assert_eq!(t.distance(0, 3), 1, "wraparound in x");
+        assert_eq!(t.distance(0, 15), 2, "wraparound in both dims");
+        assert_eq!(t.distance(0, 10), 4, "antipodal node (2,2)");
+    }
+
+    #[test]
+    fn torus_4x4_distance_histogram_matches_binomial_convolution() {
+        // Per-dimension wrap distances for k=4: {0:1, 1:2, 2:1};
+        // 2-D convolution gives [1, 4, 6, 4, 1].
+        let t = Topology::torus(4);
+        assert_eq!(t.distance_histogram(0), vec![1, 4, 6, 4, 1]);
+        // Vertex-transitivity: same histogram from every source.
+        for src in 0..16 {
+            assert_eq!(t.distance_histogram(src), vec![1, 4, 6, 4, 1]);
+        }
+    }
+
+    #[test]
+    fn mesh_corner_histogram_differs_from_center() {
+        let m = Topology::mesh(4);
+        assert_eq!(m.max_distance(), 6);
+        let corner = m.distance_histogram(0);
+        let inner = m.distance_histogram(m.node_at(1, 1));
+        assert_ne!(corner, inner, "mesh is not vertex-transitive");
+        assert_eq!(corner.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn route_length_equals_distance() {
+        for k in [2usize, 3, 4, 5, 8] {
+            let t = Topology::torus(k);
+            for a in 0..t.nodes() {
+                for b in 0..t.nodes() {
+                    let r = t.route(a, b);
+                    assert_eq!(r.len(), t.distance(a, b), "torus k={k} {a}->{b}");
+                    if a != b {
+                        assert_eq!(*r.last().unwrap(), b);
+                        assert!(!r.contains(&a));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_steps_are_adjacent() {
+        let t = Topology::torus(5);
+        for a in 0..t.nodes() {
+            for b in 0..t.nodes() {
+                let mut prev = a;
+                for &n in &t.route(a, b) {
+                    assert_eq!(t.distance(prev, n), 1, "route hops must be links");
+                    prev = n;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_translation_invariant() {
+        let t = Topology::torus(4);
+        for a in 0..t.nodes() {
+            for b in 0..t.nodes() {
+                for d in 0..t.nodes() {
+                    let base: Vec<_> = t.route(a, b);
+                    let shifted: Vec<_> = t
+                        .route(t.translate(a, d), t.translate(b, d))
+                        .iter()
+                        .map(|&n| t.untranslate(n, d))
+                        .collect();
+                    assert_eq!(base, shifted, "a={a} b={b} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translate_untranslate_roundtrip() {
+        let t = Topology::torus(6);
+        for n in 0..t.nodes() {
+            for d in 0..t.nodes() {
+                assert_eq!(t.untranslate(t.translate(n, d), d), n);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        for topo in [Topology::torus(4), Topology::mesh(4), Topology::torus(3)] {
+            for n in 0..topo.nodes() {
+                let nb = topo.neighbors(n);
+                for &m in &nb {
+                    assert_eq!(topo.distance(n, m), 1);
+                }
+            }
+        }
+        assert_eq!(Topology::torus(4).neighbors(0).len(), 4);
+        assert_eq!(Topology::mesh(4).neighbors(0).len(), 2, "corner");
+    }
+
+    #[test]
+    fn next_hop_reproduces_route() {
+        for topo in [Topology::torus(4), Topology::torus(5), Topology::mesh(3)] {
+            for a in 0..topo.nodes() {
+                for b in 0..topo.nodes() {
+                    let mut cur = a;
+                    let mut walked = Vec::new();
+                    while let Some(next) = topo.next_hop(cur, b) {
+                        walked.push(next);
+                        cur = next;
+                        assert!(walked.len() <= topo.max_distance(), "loop?");
+                    }
+                    assert_eq!(walked, topo.route(a, b), "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_distances_and_routes() {
+        let r = Topology::ring(6);
+        assert_eq!(r.nodes(), 6);
+        assert_eq!(r.max_distance(), 3);
+        assert_eq!(r.distance(0, 3), 3);
+        assert_eq!(r.distance(0, 5), 1, "wraparound");
+        assert_eq!(r.route(0, 2), vec![1, 2]);
+        assert_eq!(r.route(0, 5), vec![5]);
+        assert_eq!(r.distance_histogram(0), vec![1, 2, 2, 1]);
+        for n in 0..6 {
+            assert_eq!(r.neighbors(n).len(), 2);
+        }
+    }
+
+    #[test]
+    fn rect_torus_properties() {
+        let t = Topology::rect_torus(4, 2);
+        assert_eq!(t.nodes(), 8);
+        assert_eq!(t.max_distance(), 2 + 1);
+        // Vertex-transitive: same histogram everywhere.
+        let h0 = t.distance_histogram(0);
+        for n in 1..t.nodes() {
+            assert_eq!(t.distance_histogram(n), h0);
+        }
+        // Routes still step over unit links and reach the target.
+        for a in 0..t.nodes() {
+            for b in 0..t.nodes() {
+                let route = t.route(a, b);
+                assert_eq!(route.len(), t.distance(a, b));
+                let mut prev = a;
+                for &n in &route {
+                    assert_eq!(t.distance(prev, n), 1);
+                    prev = n;
+                }
+            }
+        }
+        // Translation symmetry holds on rectangles too.
+        for n in 0..t.nodes() {
+            for d in 0..t.nodes() {
+                assert_eq!(t.untranslate(t.translate(n, d), d), n);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_node() {
+        let t = Topology::ring(1);
+        assert_eq!(t.nodes(), 1);
+        assert_eq!(t.max_distance(), 0);
+        assert!(t.neighbors(0).is_empty());
+        assert!(t.route(0, 0).is_empty());
+    }
+
+    #[test]
+    fn k2_torus_degenerate_wrap() {
+        // On a 2x2 torus each dimension offset is 0 or 1 (tie at k/2 = 1).
+        let t = Topology::torus(2);
+        assert_eq!(t.max_distance(), 2);
+        assert_eq!(t.distance(0, 3), 2);
+        assert_eq!(t.distance_histogram(0), vec![1, 2, 1]);
+    }
+}

@@ -1,0 +1,461 @@
+//! Remote-access patterns and the average hop distance `d_avg`.
+//!
+//! The paper characterizes locality with a **geometric** distribution: the
+//! probability that a remote access targets the *class* of nodes at distance
+//! `h` is `p_sw^h / a`, where `a = Σ_{h=1}^{d_max} p_sw^h` normalizes. The
+//! probability is split uniformly among the nodes at that distance. This is
+//! the variant that reproduces the paper's `d_avg = 1.733` for `p_sw = 0.5`
+//! on a 4×4 torus (`d_avg = Σ h·p_sw^h / a`), and it is the default.
+//!
+//! A **per-module** geometric variant (each individual module at distance
+//! `h` has weight `p_sw^h`) is provided for the distribution ablation, along
+//! with the paper's **uniform** distribution (any remote module with equal
+//! probability `1/(P-1)`).
+
+use crate::error::{LtError, Result};
+use crate::params::WorkloadParams;
+use crate::topology::{NodeId, Topology};
+
+/// How remote memory accesses are distributed over the other nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Geometric-by-distance with locality parameter `p_sw ∈ (0, 1]`.
+    /// Lower `p_sw` means stronger locality.
+    Geometric {
+        /// The paper's `p_sw`.
+        p_sw: f64,
+        /// `false` (default): weight `p_sw^h` per distance *class*, split
+        /// uniformly within the class — the paper's definition (matches its
+        /// `d_avg` formula). `true`: weight `p_sw^h` per individual module.
+        per_module: bool,
+    },
+    /// Every remote module equally likely (`1/(P-1)`).
+    Uniform,
+    /// Hot-spot traffic (extension): with probability `p_hot` a remote
+    /// access targets the hot module at node 0; otherwise any remote module
+    /// uniformly. The classic contention stressor — **not** translation
+    /// invariant, so the symmetric solver fast path refuses it.
+    HotSpot {
+        /// Fraction of remote accesses directed at the hot module.
+        p_hot: f64,
+    },
+}
+
+impl AccessPattern {
+    /// The paper's geometric distribution (per distance class).
+    pub fn geometric(p_sw: f64) -> Self {
+        AccessPattern::Geometric {
+            p_sw,
+            per_module: false,
+        }
+    }
+
+    /// Geometric with per-module weights (ablation variant).
+    pub fn geometric_per_module(p_sw: f64) -> Self {
+        AccessPattern::Geometric {
+            p_sw,
+            per_module: true,
+        }
+    }
+
+    /// Hot-spot pattern with the given hot fraction (extension).
+    pub fn hot_spot(p_hot: f64) -> Self {
+        AccessPattern::HotSpot { p_hot }
+    }
+
+    /// Whether the pattern looks the same from every node (up to
+    /// translation on a vertex-transitive topology). Required by the
+    /// symmetric solver and by the SPMD reporting convention.
+    pub fn is_translation_invariant(&self) -> bool {
+        !matches!(self, AccessPattern::HotSpot { .. })
+    }
+
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            AccessPattern::Geometric { p_sw, .. } => {
+                if !p_sw.is_finite() || p_sw <= 0.0 || p_sw > 1.0 {
+                    Err(LtError::InvalidConfig("p_sw must lie in (0, 1]".into()))
+                } else {
+                    Ok(())
+                }
+            }
+            AccessPattern::Uniform => Ok(()),
+            AccessPattern::HotSpot { p_hot } => {
+                if !p_hot.is_finite() || !(0.0..=1.0).contains(&p_hot) {
+                    Err(LtError::InvalidConfig("p_hot must lie in [0, 1]".into()))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Probability vector `q[j]` that a remote access from `src` targets
+    /// node `j` (`q[src] = 0`; sums to 1 when the topology has > 1 node).
+    pub fn remote_probs(&self, topo: &Topology, src: NodeId) -> Vec<f64> {
+        let p = topo.nodes();
+        let mut q = vec![0.0; p];
+        if p <= 1 {
+            return q;
+        }
+        match *self {
+            AccessPattern::Uniform => {
+                let v = 1.0 / (p as f64 - 1.0);
+                for (j, slot) in q.iter_mut().enumerate() {
+                    if j != src {
+                        *slot = v;
+                    }
+                }
+            }
+            AccessPattern::HotSpot { p_hot } => {
+                let uniform = 1.0 / (p as f64 - 1.0);
+                for (j, slot) in q.iter_mut().enumerate() {
+                    if j != src {
+                        *slot = (1.0 - p_hot) * uniform;
+                    }
+                }
+                // The hot mass lands on node 0; a thread *on* node 0 keeps
+                // the plain uniform pattern (its hot module is local).
+                if src != 0 {
+                    q[0] += p_hot;
+                } else {
+                    for (j, slot) in q.iter_mut().enumerate() {
+                        if j != src {
+                            *slot += p_hot * uniform;
+                        }
+                    }
+                }
+            }
+            AccessPattern::Geometric { p_sw, per_module } => {
+                let hist = topo.distance_histogram(src);
+                if per_module {
+                    // Weight p_sw^h for each module at distance h.
+                    let mut a = 0.0;
+                    for (h, &count) in hist.iter().enumerate().skip(1) {
+                        a += count as f64 * p_sw.powi(h as i32);
+                    }
+                    for (j, slot) in q.iter_mut().enumerate() {
+                        if j != src {
+                            *slot = p_sw.powi(topo.distance(src, j) as i32) / a;
+                        }
+                    }
+                } else {
+                    // Paper variant: weight p_sw^h for the distance class,
+                    // split uniformly among its members. Distance classes
+                    // with no members (possible on small meshes) contribute
+                    // nothing to the normalization.
+                    let mut a = 0.0;
+                    for (h, &count) in hist.iter().enumerate().skip(1) {
+                        if count > 0 {
+                            a += p_sw.powi(h as i32);
+                        }
+                    }
+                    for (j, slot) in q.iter_mut().enumerate() {
+                        if j != src {
+                            let h = topo.distance(src, j);
+                            *slot = p_sw.powi(h as i32) / (a * hist[h] as f64);
+                        }
+                    }
+                }
+            }
+        }
+        q
+    }
+
+    /// Average hop distance `d_avg` of a remote access issued from `src`.
+    pub fn d_avg(&self, topo: &Topology, src: NodeId) -> f64 {
+        self.remote_probs(topo, src)
+            .iter()
+            .enumerate()
+            .map(|(j, &qj)| qj * topo.distance(src, j) as f64)
+            .sum()
+    }
+
+    /// `d_avg` averaged over all source nodes (equals the per-source value
+    /// on a vertex-transitive topology).
+    pub fn d_avg_mean(&self, topo: &Topology) -> f64 {
+        let p = topo.nodes();
+        (0..p).map(|s| self.d_avg(topo, s)).sum::<f64>() / p as f64
+    }
+}
+
+/// A cache-level description of a thread's behavior (extension).
+///
+/// The paper's footnote 4 identifies `1/R` with the cache miss rate and
+/// cites the multithreading-vs-cache literature (Agarwal; Thekkath;
+/// Eickemeyer) without modeling it. This struct performs the standard
+/// mapping: a thread issues one shared-memory reference per
+/// `instructions_per_access` instructions (1 instruction/cycle); a
+/// fraction `miss_rate` of references miss the local cache and become the
+/// model's long-latency accesses, of which `remote_fraction` leave the
+/// node. Then
+///
+/// ```text
+/// R        = instructions_per_access / miss_rate
+/// p_remote = remote_fraction
+/// ```
+///
+/// so cache improvements (lower miss rate) *lengthen* the effective
+/// runlength — exactly the knob Figures 6–8 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSpec {
+    /// Instructions executed per shared-memory reference (`> 0`).
+    pub instructions_per_access: f64,
+    /// Cache miss rate per reference, in `(0, 1]`.
+    pub miss_rate: f64,
+    /// Fraction of misses served by a remote node, in `[0, 1]`.
+    pub remote_fraction: f64,
+}
+
+impl CacheSpec {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<()> {
+        if !self.instructions_per_access.is_finite() || self.instructions_per_access <= 0.0 {
+            return Err(LtError::InvalidConfig(
+                "instructions_per_access must be finite and > 0".into(),
+            ));
+        }
+        if !self.miss_rate.is_finite() || self.miss_rate <= 0.0 || self.miss_rate > 1.0 {
+            return Err(LtError::InvalidConfig(
+                "miss_rate must lie in (0, 1]".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.remote_fraction) {
+            return Err(LtError::InvalidConfig(
+                "remote_fraction must lie in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Effective runlength `R` between long-latency accesses.
+    pub fn runlength(&self) -> f64 {
+        self.instructions_per_access / self.miss_rate
+    }
+
+    /// Derive the model workload.
+    pub fn workload(&self, n_threads: usize, pattern: AccessPattern) -> Result<WorkloadParams> {
+        self.validate()?;
+        Ok(WorkloadParams {
+            n_threads,
+            runlength: self.runlength(),
+            context_switch: 0.0,
+            p_remote: self.remote_fraction,
+            pattern,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn paper_d_avg_is_1_733() {
+        // p_sw = 0.5, 4x4 torus, d_max = 4:
+        // a = 0.5 + 0.25 + 0.125 + 0.0625 = 0.9375
+        // d_avg = (0.5 + 2*0.25 + 3*0.125 + 4*0.0625) / a = 1.7333...
+        let topo = Topology::torus(4);
+        let d = AccessPattern::geometric(0.5).d_avg(&topo, 0);
+        assert_close(d, 1.7333333333, 1e-9);
+    }
+
+    #[test]
+    fn geometric_asymptote_matches_paper_section7() {
+        // "d_avg asymptotically approaches 1/(1-p_sw) (= 2) with increase
+        // in P" for p_sw = 0.5: limit of sum h p^h / sum p^h = 1/(1-p).
+        let topo = Topology::torus(30);
+        let d = AccessPattern::geometric(0.5).d_avg(&topo, 0);
+        assert_close(d, 2.0, 1e-6);
+    }
+
+    #[test]
+    fn uniform_d_avg_4x4() {
+        // Histogram [1,4,6,4,1] over 15 remote nodes:
+        // (4 + 12 + 12 + 4)/15 = 32/15 = 2.1333
+        let topo = Topology::torus(4);
+        let d = AccessPattern::Uniform.d_avg(&topo, 0);
+        assert_close(d, 32.0 / 15.0, 1e-12);
+    }
+
+    #[test]
+    fn uniform_d_avg_grows_linearly_with_k() {
+        // Paper Section 7: uniform d_avg rises rapidly (1.3 -> 5.1 for
+        // k = 2..10 approximately; exactly k/2 * ... for torus).
+        let d2 = AccessPattern::Uniform.d_avg(&Topology::torus(2), 0);
+        let d10 = AccessPattern::Uniform.d_avg(&Topology::torus(10), 0);
+        assert!(d10 > 3.0 * d2);
+        assert_close(d2, 4.0 / 3.0, 1e-12); // hist [1,2,1]: (2+2)/3
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_exclude_source() {
+        let topo = Topology::torus(5);
+        for pattern in [
+            AccessPattern::geometric(0.3),
+            AccessPattern::geometric_per_module(0.3),
+            AccessPattern::Uniform,
+        ] {
+            for src in 0..topo.nodes() {
+                let q = pattern.remote_probs(&topo, src);
+                assert_close(q.iter().sum::<f64>(), 1.0, 1e-12);
+                assert_eq!(q[src], 0.0);
+                assert!(q.iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn per_module_variant_differs_from_per_class() {
+        let topo = Topology::torus(4);
+        let a = AccessPattern::geometric(0.5).d_avg(&topo, 0);
+        let b = AccessPattern::geometric_per_module(0.5).d_avg(&topo, 0);
+        assert!((a - b).abs() > 1e-3, "variants must be distinguishable");
+        // Per-module: a = 4*.5 + 6*.25 + 4*.125 + 1*.0625 = 4.0625
+        // d = (4*.5 + 2*6*.25 + 3*4*.125 + 4*.0625)/4.0625 = 6.75/4.0625
+        assert_close(b, 6.75 / 4.0625, 1e-12);
+    }
+
+    #[test]
+    fn stronger_locality_means_shorter_distance() {
+        let topo = Topology::torus(8);
+        let d_tight = AccessPattern::geometric(0.2).d_avg(&topo, 0);
+        let d_loose = AccessPattern::geometric(0.9).d_avg(&topo, 0);
+        let d_uni = AccessPattern::Uniform.d_avg(&topo, 0);
+        assert!(d_tight < d_loose);
+        assert!(d_loose < d_uni);
+    }
+
+    #[test]
+    fn p_sw_one_spreads_uniformly_over_distance_classes() {
+        // p_sw = 1: each distance class equally likely, not each node.
+        let topo = Topology::torus(4);
+        let q = AccessPattern::geometric(1.0).remote_probs(&topo, 0);
+        // Distance classes 1..4 each get 1/4, split among 4,6,4,1 nodes.
+        assert_close(q[1], 0.25 / 4.0, 1e-12); // node 1 at distance 1
+        assert_close(q[10], 0.25 / 1.0, 1e-12); // node (2,2) alone at d=4
+    }
+
+    #[test]
+    fn mesh_sources_have_varying_d_avg() {
+        let topo = Topology::mesh(4);
+        let corner = AccessPattern::Uniform.d_avg(&topo, 0);
+        let center = AccessPattern::Uniform.d_avg(&topo, topo.node_at(1, 1));
+        assert!(corner > center);
+    }
+
+    #[test]
+    fn hot_spot_concentrates_on_node_zero() {
+        let topo = Topology::torus(4);
+        let q = AccessPattern::hot_spot(0.5).remote_probs(&topo, 5);
+        assert_close(q.iter().sum::<f64>(), 1.0, 1e-12);
+        // Node 0 gets the hot half plus its uniform share.
+        assert_close(q[0], 0.5 + 0.5 / 15.0, 1e-12);
+        assert_close(q[1], 0.5 / 15.0, 1e-12);
+        // A thread on the hot node spreads uniformly.
+        let q0 = AccessPattern::hot_spot(0.5).remote_probs(&topo, 0);
+        assert_close(q0[1], 1.0 / 15.0, 1e-12);
+        assert_close(q0.iter().sum::<f64>(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn hot_spot_zero_reduces_to_uniform() {
+        let topo = Topology::torus(3);
+        let hot = AccessPattern::hot_spot(0.0).remote_probs(&topo, 4);
+        let uni = AccessPattern::Uniform.remote_probs(&topo, 4);
+        for (a, b) in hot.iter().zip(&uni) {
+            assert_close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn translation_invariance_flags() {
+        assert!(AccessPattern::geometric(0.5).is_translation_invariant());
+        assert!(AccessPattern::Uniform.is_translation_invariant());
+        assert!(!AccessPattern::hot_spot(0.3).is_translation_invariant());
+    }
+
+    #[test]
+    fn hot_spot_validation() {
+        assert!(AccessPattern::hot_spot(0.0).validate().is_ok());
+        assert!(AccessPattern::hot_spot(1.0).validate().is_ok());
+        assert!(AccessPattern::hot_spot(-0.1).validate().is_err());
+        assert!(AccessPattern::hot_spot(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn cache_spec_maps_miss_rate_to_runlength() {
+        // 2 instructions/reference, 10% miss rate -> R = 20.
+        let spec = CacheSpec {
+            instructions_per_access: 2.0,
+            miss_rate: 0.1,
+            remote_fraction: 0.3,
+        };
+        let w = spec.workload(8, AccessPattern::geometric(0.5)).unwrap();
+        assert_close(w.runlength, 20.0, 1e-12);
+        assert_close(w.p_remote, 0.3, 1e-12);
+        assert_eq!(w.n_threads, 8);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn better_cache_lengthens_runlength() {
+        let base = CacheSpec {
+            instructions_per_access: 1.0,
+            miss_rate: 0.5,
+            remote_fraction: 0.2,
+        };
+        let improved = CacheSpec {
+            miss_rate: 0.05,
+            ..base
+        };
+        assert!(improved.runlength() > 5.0 * base.runlength());
+    }
+
+    #[test]
+    fn cache_spec_validation() {
+        let ok = CacheSpec {
+            instructions_per_access: 1.0,
+            miss_rate: 0.2,
+            remote_fraction: 0.0,
+        };
+        assert!(ok.validate().is_ok());
+        assert!(CacheSpec {
+            miss_rate: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(CacheSpec {
+            miss_rate: 1.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(CacheSpec {
+            instructions_per_access: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(CacheSpec {
+            remote_fraction: -0.1,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_p_sw() {
+        assert!(AccessPattern::geometric(0.0).validate().is_err());
+        assert!(AccessPattern::geometric(1.2).validate().is_err());
+        assert!(AccessPattern::geometric(f64::NAN).validate().is_err());
+        assert!(AccessPattern::geometric(1.0).validate().is_ok());
+    }
+}

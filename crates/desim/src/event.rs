@@ -1,0 +1,168 @@
+//! The event calendar.
+//!
+//! A future-event set keyed by `(time, sequence)`. The sequence number
+//! breaks ties deterministically in scheduling order, which makes every
+//! simulation in this workspace bit-reproducible for a fixed seed — a
+//! property the validation experiments rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time, in the paper's abstract cycles.
+pub type Time = f64;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event set with a monotone clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Time,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty calendar at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at` (must be `>= now`).
+    pub fn schedule_at(&mut self, at: Time, payload: E) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        debug_assert!(at.is_finite());
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` after a delay (must be `>= 0`).
+    pub fn schedule_in(&mut self, delay: Time, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(2.0, "b");
+        assert_eq!(q.pop().unwrap(), (1.0, "a"));
+        assert_eq!(q.pop().unwrap(), (2.0, "b"));
+        assert_eq!(q.now(), 2.0);
+        assert_eq!(q.pop().unwrap(), (3.0, "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_in(2.0, "x");
+        let _ = q.pop();
+        q.schedule_in(3.0, "y");
+        assert_eq!(q.pop().unwrap(), (5.0, "y"));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(1.5, 7);
+        q.schedule_at(0.5, 8);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(0.5));
+        assert_eq!(q.now(), 0.0, "peek does not advance the clock");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    #[cfg(debug_assertions)]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, ());
+        let _ = q.pop();
+        q.schedule_at(1.0, ());
+    }
+}

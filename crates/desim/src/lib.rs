@@ -1,0 +1,30 @@
+//! # lt-desim — discrete-event simulation kernel
+//!
+//! The substrate shared by the two simulators in this workspace
+//! (`lt-stpn`, the stochastic timed Petri net engine, and `lt-qnsim`, the
+//! direct machine simulator):
+//!
+//! * [`event`] — a deterministic event calendar: a binary heap ordered by
+//!   `(time, sequence)` so simultaneous events fire in schedule order,
+//!   making runs exactly reproducible for a given seed.
+//! * [`rng`] — a seeded random stream and the service-time distributions
+//!   the paper uses (exponential everywhere; deterministic for the
+//!   Section 8 sensitivity check; uniform and Erlang as extensions).
+//! * [`stats`] — output analysis: tallies, time-weighted integrals
+//!   (utilizations, queue lengths), and batch-means confidence intervals
+//!   with warm-up truncation.
+//! * [`quantile`] — the P² streaming quantile estimator, for latency
+//!   tails without storing samples.
+//! * [`warmup`] — MSER-5 initial-transient detection.
+
+pub mod event;
+pub mod quantile;
+pub mod rng;
+pub mod stats;
+pub mod warmup;
+
+pub use event::{EventQueue, Time};
+pub use quantile::P2Quantile;
+pub use rng::{DistFamily, ServiceDist, SimRng};
+pub use stats::{BatchMeans, Estimate, Tally, TimeWeighted};
+pub use warmup::{mser, mser5, WarmupEstimate};

@@ -1,0 +1,269 @@
+//! Random streams and service-time distributions.
+//!
+//! The analytical model assumes exponential service everywhere
+//! ([`ServiceDist::Exponential`]); the paper's Section 8 additionally
+//! checks sensitivity by switching the memory service to deterministic
+//! ([`ServiceDist::Deterministic`]). Uniform and Erlang are provided as
+//! extensions (Erlang interpolates between the two in coefficient of
+//! variation).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A service-time distribution with a specified mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDist {
+    /// Exponential with the given mean (CV = 1) — the model's assumption.
+    Exponential {
+        /// Mean service time.
+        mean: f64,
+    },
+    /// A constant (CV = 0) — Section 8's sensitivity variant.
+    Deterministic {
+        /// The constant service time.
+        value: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Erlang-`k` (sum of `k` exponentials) with the given overall mean
+    /// (CV = 1/√k).
+    Erlang {
+        /// Number of exponential stages (`>= 1`).
+        k: u32,
+        /// Overall mean.
+        mean: f64,
+    },
+}
+
+/// A distribution *family*, to be instantiated with a mean taken from the
+/// model parameters (the analytical model fixes means; simulators choose
+/// the family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistFamily {
+    /// Exponential (CV = 1) — the analytical model's assumption.
+    #[default]
+    Exponential,
+    /// Deterministic (CV = 0) — the paper's Section 8 sensitivity variant.
+    Deterministic,
+    /// Erlang-`k` (CV = 1/√k) — interpolates between the two.
+    Erlang(u32),
+}
+
+impl DistFamily {
+    /// Instantiate the family at a given mean.
+    pub fn with_mean(self, mean: f64) -> ServiceDist {
+        match self {
+            DistFamily::Exponential => ServiceDist::Exponential { mean },
+            DistFamily::Deterministic => ServiceDist::Deterministic { value: mean },
+            DistFamily::Erlang(k) => ServiceDist::Erlang { k, mean },
+        }
+    }
+}
+
+impl ServiceDist {
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDist::Exponential { mean } => mean,
+            ServiceDist::Deterministic { value } => value,
+            ServiceDist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            ServiceDist::Erlang { mean, .. } => mean,
+        }
+    }
+
+    /// Squared coefficient of variation (variance / mean²).
+    pub fn scv(&self) -> f64 {
+        match *self {
+            ServiceDist::Exponential { .. } => 1.0,
+            ServiceDist::Deterministic { .. } => 0.0,
+            ServiceDist::Uniform { lo, hi } => {
+                let m = 0.5 * (lo + hi);
+                if m == 0.0 {
+                    0.0
+                } else {
+                    (hi - lo).powi(2) / 12.0 / (m * m)
+                }
+            }
+            ServiceDist::Erlang { k, .. } => 1.0 / k as f64,
+        }
+    }
+}
+
+/// A seeded random stream (xoshiro-based `SmallRng`: fast, good quality,
+/// reproducible across runs for a fixed seed).
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// A stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent sub-stream (e.g. one per node) by mixing an
+    /// index into the seed with a SplitMix64 step.
+    pub fn substream(seed: u64, index: u64) -> Self {
+        let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Exponential with the given mean (inverse transform; guards the
+    /// `ln(0)` corner).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let u = 1.0 - self.uniform01(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Sample a service time.
+    pub fn sample(&mut self, dist: &ServiceDist) -> f64 {
+        match *dist {
+            ServiceDist::Exponential { mean } => self.exponential(mean),
+            ServiceDist::Deterministic { value } => value,
+            ServiceDist::Uniform { lo, hi } => lo + (hi - lo) * self.uniform01(),
+            ServiceDist::Erlang { k, mean } => {
+                let stage = mean / k as f64;
+                (0..k).map(|_| self.exponential(stage)).sum()
+            }
+        }
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform01() < p
+    }
+
+    /// Index drawn from a (not necessarily normalized) weight vector.
+    /// Panics if all weights are zero.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "choose_weighted requires a positive total");
+        let mut x = self.uniform01() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive total implies a positive weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform01(), b.uniform01());
+        }
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let mut a = SimRng::substream(42, 0);
+        let mut b = SimRng::substream(42, 1);
+        let xs: Vec<f64> = (0..10).map(|_| a.uniform01()).collect();
+        let ys: Vec<f64> = (0..10).map(|_| b.uniform01()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::new(7);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.03, "sample mean {mean}");
+    }
+
+    #[test]
+    fn sample_means_match_declared_means() {
+        let mut rng = SimRng::new(11);
+        for dist in [
+            ServiceDist::Exponential { mean: 1.5 },
+            ServiceDist::Deterministic { value: 3.0 },
+            ServiceDist::Uniform { lo: 1.0, hi: 2.0 },
+            ServiceDist::Erlang { k: 4, mean: 2.0 },
+        ] {
+            let n = 100_000;
+            let m: f64 = (0..n).map(|_| rng.sample(&dist)).sum::<f64>() / n as f64;
+            assert!(
+                (m - dist.mean()).abs() < 0.05 * dist.mean().max(0.1),
+                "{dist:?}: sample mean {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn scv_values() {
+        assert_eq!(ServiceDist::Exponential { mean: 1.0 }.scv(), 1.0);
+        assert_eq!(ServiceDist::Deterministic { value: 2.0 }.scv(), 0.0);
+        assert!((ServiceDist::Erlang { k: 4, mean: 1.0 }.scv() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_variance_shrinks_with_k() {
+        let mut rng = SimRng::new(3);
+        let var = |k: u32, rng: &mut SimRng| {
+            let n = 50_000;
+            let samples: Vec<f64> = (0..n)
+                .map(|_| rng.sample(&ServiceDist::Erlang { k, mean: 1.0 }))
+                .collect();
+            let m = samples.iter().sum::<f64>() / n as f64;
+            samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64
+        };
+        let v1 = var(1, &mut rng);
+        let v8 = var(8, &mut rng);
+        assert!(v8 < v1 / 4.0, "v1={v1} v8={v8}");
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = SimRng::new(5);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut rng = SimRng::new(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..90_000 {
+            counts[rng.choose_weighted(&[1.0, 2.0, 0.0])] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_mean_exponential_is_zero() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(rng.exponential(0.0), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Warm-up (initial-transient) detection — the MSER-5 rule (White 1997).
+//!
+//! The paper's simulations discard an initial transient before measuring
+//! ("it is difficult to obtain unperturbed values ... at a steady state").
+//! MSER picks the truncation point that minimizes the half-width-like
+//! statistic of the *remaining* data: for a series of batch means `y_1..y_n`
+//! and truncation `d`, minimize
+//!
+//! ```text
+//! MSER(d) = var(y_{d+1..n}) / (n − d)²
+//! ```
+//!
+//! over `d ≤ n/2` (truncating more than half the run signals the run is
+//! simply too short). MSER-5 applies the rule to means of batches of 5 raw
+//! observations.
+
+/// Result of an MSER scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmupEstimate {
+    /// Number of *batches* to discard.
+    pub truncate_batches: usize,
+    /// The minimized MSER statistic.
+    pub statistic: f64,
+    /// True when the minimizer hit the half-of-run cap — the run is too
+    /// short to declare a steady state.
+    pub truncation_capped: bool,
+}
+
+/// MSER over precomputed batch means. Returns `None` for fewer than 4
+/// batches (no meaningful scan).
+pub fn mser(batch_means: &[f64]) -> Option<WarmupEstimate> {
+    let n = batch_means.len();
+    if n < 4 {
+        return None;
+    }
+    let cap = n / 2;
+    let mut best = WarmupEstimate {
+        truncate_batches: 0,
+        statistic: f64::INFINITY,
+        truncation_capped: false,
+    };
+    // Suffix sums allow O(1) variance per candidate.
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut suffix: Vec<(f64, f64)> = vec![(0.0, 0.0); n + 1];
+    for i in (0..n).rev() {
+        sum += batch_means[i];
+        sum_sq += batch_means[i] * batch_means[i];
+        suffix[i] = (sum, sum_sq);
+    }
+    #[allow(clippy::needless_range_loop)] // d is a rank, not just an index
+    for d in 0..=cap {
+        let m = (n - d) as f64;
+        if m < 2.0 {
+            break;
+        }
+        let (s, s2) = suffix[d];
+        let var = ((s2 - s * s / m) / m).max(0.0);
+        let stat = var / (m * m);
+        if stat < best.statistic {
+            best = WarmupEstimate {
+                truncate_batches: d,
+                statistic: stat,
+                truncation_capped: d == cap,
+            };
+        }
+    }
+    Some(best)
+}
+
+/// MSER-5: batch raw observations by 5, then scan. Returns the number of
+/// *raw observations* to discard.
+pub fn mser5(observations: &[f64]) -> Option<WarmupEstimate> {
+    let batches: Vec<f64> = observations
+        .chunks_exact(5)
+        .map(|c| c.iter().sum::<f64>() / 5.0)
+        .collect();
+    mser(&batches).map(|e| WarmupEstimate {
+        truncate_batches: e.truncate_batches * 5,
+        ..e
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn stationary_series_needs_no_truncation() {
+        let mut rng = SimRng::new(1);
+        let ys: Vec<f64> = (0..200).map(|_| 5.0 + rng.uniform01()).collect();
+        let est = mser(&ys).unwrap();
+        assert!(est.truncate_batches <= 10, "{est:?}");
+        assert!(!est.truncation_capped);
+    }
+
+    #[test]
+    fn detects_an_initial_transient() {
+        // First 30 points drift from 0 to 5, then stationary around 5.
+        let mut rng = SimRng::new(2);
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            ys.push(5.0 * i as f64 / 30.0 + 0.1 * rng.uniform01());
+        }
+        for _ in 0..170 {
+            ys.push(5.0 + 0.1 * rng.uniform01());
+        }
+        let est = mser(&ys).unwrap();
+        assert!(
+            (20..=45).contains(&est.truncate_batches),
+            "expected a cut near 30, got {est:?}"
+        );
+    }
+
+    #[test]
+    fn too_short_series_is_flagged() {
+        // Pure drift: the minimizer slams into the cap.
+        let ys: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let est = mser(&ys).unwrap();
+        assert!(est.truncation_capped, "{est:?}");
+    }
+
+    #[test]
+    fn tiny_inputs_yield_none() {
+        assert!(mser(&[1.0, 2.0, 3.0]).is_none());
+        assert!(mser5(&[1.0; 15]).is_none());
+    }
+
+    #[test]
+    fn mser5_scales_truncation_to_raw_observations() {
+        let mut rng = SimRng::new(3);
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            ys.push(10.0 * (1.0 - (i as f64 / 25.0).min(1.0)) + rng.uniform01());
+        }
+        for _ in 0..400 {
+            ys.push(rng.uniform01());
+        }
+        let est = mser5(&ys).unwrap();
+        assert_eq!(est.truncate_batches % 5, 0);
+        assert!(
+            (10..=60).contains(&est.truncate_batches),
+            "expected ~25 raw, got {est:?}"
+        );
+    }
+}

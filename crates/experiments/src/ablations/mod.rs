@@ -1,0 +1,5 @@
+//! Ablations of the implementation's own design choices.
+
+pub mod distribution;
+pub mod solver;
+pub mod symmetry;

@@ -1,0 +1,118 @@
+//! Solver ablation: exact MVA vs Bard–Schweitzer (the paper's Figure 3)
+//! vs Linearizer, on systems small enough for the exact recursion.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::analysis::{solve_with, SolverChoice};
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_core::topology::Topology;
+use std::time::Instant;
+
+/// One accuracy/cost comparison.
+pub struct SolverPoint {
+    /// Threads.
+    pub n_t: usize,
+    /// Remote fraction.
+    pub p_remote: f64,
+    /// Exact `U_p`.
+    pub exact: f64,
+    /// Bard–Schweitzer relative error and microseconds.
+    pub amva: (f64, f64),
+    /// Linearizer relative error and microseconds.
+    pub linearizer: (f64, f64),
+}
+
+/// Run the comparison on a 2×2 torus.
+pub fn sweep(ctx: &Ctx) -> Vec<SolverPoint> {
+    let n_ts: Vec<usize> = ctx.pick(vec![1, 2, 3, 4, 6], vec![2, 4]);
+    let ps: Vec<f64> = ctx.pick(vec![0.2, 0.5, 0.8], vec![0.5]);
+    let cells = lt_core::sweep::grid(&n_ts, &ps);
+    parallel_map(&cells, |&(n_t, p_remote)| {
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(2))
+            .with_n_threads(n_t)
+            .with_p_remote(p_remote);
+        let timed = |choice: SolverChoice| {
+            let start = Instant::now();
+            let u = solve_with(&cfg, choice).expect("solvable").u_p;
+            (u, start.elapsed().as_secs_f64() * 1e6)
+        };
+        let (exact, _) = timed(SolverChoice::Exact);
+        let (amva_u, amva_t) = timed(SolverChoice::Amva);
+        let (lin_u, lin_t) = timed(SolverChoice::Linearizer);
+        SolverPoint {
+            n_t,
+            p_remote,
+            exact,
+            amva: ((amva_u - exact).abs() / exact, amva_t),
+            linearizer: ((lin_u - exact).abs() / exact, lin_t),
+        }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut t = Table::new(vec![
+        "n_t",
+        "p_remote",
+        "exact U_p",
+        "amva err%",
+        "linearizer err%",
+        "amva us",
+        "linearizer us",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.n_t.to_string(),
+            fnum(p.p_remote, 1),
+            fnum(p.exact, 4),
+            fnum(p.amva.0 * 100.0, 2),
+            fnum(p.linearizer.0 * 100.0, 2),
+            fnum(p.amva.1, 0),
+            fnum(p.linearizer.1, 0),
+        ]);
+    }
+    let csv_note = ctx.save_csv("ablation_solver", &t);
+    let worst_amva = pts.iter().map(|p| p.amva.0).fold(0.0, f64::max);
+    let worst_lin = pts.iter().map(|p| p.linearizer.0).fold(0.0, f64::max);
+    format!(
+        "Solver ablation on a 2x2 torus (exact MVA affordable).\n\n{}\n\
+         Worst-case error vs exact: Bard-Schweitzer {}%, Linearizer {}%.\n\
+         The paper's solver choice (Fig. 3 = Bard-Schweitzer) is accurate \
+         to a few percent; Linearizer buys most of the residual.\n{csv_note}\n",
+        t.render(),
+        fnum(worst_amva * 100.0, 2),
+        fnum(worst_lin * 100.0, 2)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximations_stay_within_a_few_percent() {
+        let ctx = Ctx::quick_temp();
+        for p in sweep(&ctx) {
+            assert!(p.amva.0 < 0.06, "amva err {}", p.amva.0);
+            assert!(p.linearizer.0 < 0.03, "linearizer err {}", p.linearizer.0);
+        }
+    }
+
+    #[test]
+    fn linearizer_no_worse_than_amva_overall() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let sum_amva: f64 = pts.iter().map(|p| p.amva.0).sum();
+        let sum_lin: f64 = pts.iter().map(|p| p.linearizer.0).sum();
+        assert!(sum_lin <= sum_amva + 1e-9);
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("Bard-Schweitzer"));
+    }
+}

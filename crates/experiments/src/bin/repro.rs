@@ -1,0 +1,82 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                      list experiment ids
+//! repro all [--quick] [--out D]   run everything
+//! repro <id> [--quick] [--out D]  run one experiment
+//! ```
+
+use lt_experiments::{find, registry, Ctx};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  repro list\n  repro all [--quick] [--out DIR]\n  repro <id> [--quick] [--out DIR]\n\nids:"
+    );
+    for e in registry() {
+        eprintln!("  {:18} {}", e.id, e.title);
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_dir = String::from("results");
+    let mut positional = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--out" | "-o" => match it.next() {
+                Some(d) => out_dir = d,
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ => positional.push(a),
+        }
+    }
+    let Some(cmd) = positional.first() else {
+        return usage();
+    };
+
+    if cmd == "list" {
+        for e in registry() {
+            println!("{:18} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ctx = Ctx {
+        out_dir: out_dir.into(),
+        quick,
+    };
+
+    let to_run = if cmd == "all" {
+        registry()
+    } else {
+        match find(cmd) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("unknown experiment `{cmd}`\n");
+                return usage();
+            }
+        }
+    };
+
+    for e in to_run {
+        let start = Instant::now();
+        println!("==========================================================");
+        println!("== {} — {}", e.id, e.title);
+        println!("==========================================================");
+        let report = (e.run)(&ctx);
+        println!("{report}");
+        println!(
+            "[{} finished in {:.2}s]\n",
+            e.id,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}

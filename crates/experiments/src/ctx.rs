@@ -1,0 +1,102 @@
+//! Experiment execution context: output directory and resolution control.
+
+use crate::output::{write_file, Table};
+use crate::svg::SvgChart;
+use std::path::{Path, PathBuf};
+
+/// Where results go and how big the sweeps are.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Directory for CSV/text artifacts.
+    pub out_dir: PathBuf,
+    /// Shrink grids and horizons (benches, smoke tests).
+    pub quick: bool,
+}
+
+impl Ctx {
+    /// Full-resolution context writing into `out_dir`.
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        Ctx {
+            out_dir: out_dir.into(),
+            quick: false,
+        }
+    }
+
+    /// Quick context writing into a temp directory (used by benches/tests).
+    pub fn quick_temp() -> Self {
+        Ctx {
+            out_dir: std::env::temp_dir().join("lt-experiments"),
+            quick: true,
+        }
+    }
+
+    /// Pick between full and quick values.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// Write a table as `name.csv` into the output directory; errors are
+    /// reported in the returned note rather than unwound, so a read-only
+    /// output directory degrades gracefully.
+    pub fn save_csv(&self, name: &str, table: &Table) -> String {
+        match write_file(&self.out_dir, &format!("{name}.csv"), &table.to_csv()) {
+            Ok(path) => format!("[csv: {}]", path.display()),
+            Err(e) => format!("[csv {name}.csv not written: {e}]"),
+        }
+    }
+
+    /// Render a chart as `name.svg` into the output directory (same
+    /// graceful degradation as [`Ctx::save_csv`]).
+    pub fn save_svg(
+        &self,
+        name: &str,
+        chart: &SvgChart,
+        series: &[(String, Vec<(f64, f64)>)],
+    ) -> String {
+        let Some(svg) = chart.render(series) else {
+            return format!("[svg {name}.svg skipped: no finite data]");
+        };
+        match write_file(&self.out_dir, &format!("{name}.svg"), &svg) {
+            Ok(path) => format!("[svg: {}]", path.display()),
+            Err(e) => format!("[svg {name}.svg not written: {e}]"),
+        }
+    }
+
+    /// The output directory as a path.
+    pub fn dir(&self) -> &Path {
+        &self.out_dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_respects_quick_flag() {
+        let full = Ctx::new("/tmp/x");
+        assert_eq!(full.pick(10, 2), 10);
+        let quick = Ctx {
+            quick: true,
+            ..full
+        };
+        assert_eq!(quick.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("lt-ctx-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = Ctx::new(&dir);
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1"]);
+        let note = ctx.save_csv("t", &t);
+        assert!(note.contains("t.csv"));
+        assert!(dir.join("t.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

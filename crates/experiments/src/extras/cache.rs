@@ -1,0 +1,130 @@
+//! Extension: cache-derived workloads.
+//!
+//! The paper's footnote 4 identifies `1/R` with the cache miss rate and
+//! declines to model the cache. [`lt_core::workload::CacheSpec`] performs
+//! the standard mapping; this experiment sweeps the miss rate and the
+//! remote-miss fraction and reads the tolerance zones off the resulting
+//! `(R, p_remote)` points — i.e. it answers "how good must my cache be
+//! before multithreading hides the rest?" with the paper's own metric.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_core::workload::CacheSpec;
+
+/// One cache design point.
+pub struct CachePoint {
+    /// Cache miss rate.
+    pub miss_rate: f64,
+    /// Fraction of misses that go remote.
+    pub remote_fraction: f64,
+    /// Derived runlength.
+    pub runlength: f64,
+    /// Solved measures.
+    pub rep: PerformanceReport,
+    /// Network tolerance.
+    pub tol_network: ToleranceReport,
+    /// Memory tolerance.
+    pub tol_memory: ToleranceReport,
+}
+
+/// Sweep cache quality × sharing.
+pub fn sweep(ctx: &Ctx) -> Vec<CachePoint> {
+    let miss_rates: Vec<f64> = ctx.pick(vec![0.5, 0.25, 0.125, 0.0625], vec![0.5, 0.125]);
+    let remote_fracs: Vec<f64> = ctx.pick(vec![0.2, 0.5, 0.8], vec![0.2, 0.8]);
+    let cells = lt_core::sweep::grid(&miss_rates, &remote_fracs);
+    parallel_map(&cells, |&(miss_rate, remote_fraction)| {
+        let spec = CacheSpec {
+            instructions_per_access: 1.0,
+            miss_rate,
+            remote_fraction,
+        };
+        let mut cfg = SystemConfig::paper_default();
+        cfg.workload = spec
+            .workload(cfg.workload.n_threads, cfg.workload.pattern)
+            .expect("valid cache spec");
+        CachePoint {
+            miss_rate,
+            remote_fraction,
+            runlength: spec.runlength(),
+            rep: solve(&cfg).expect("solvable"),
+            tol_network: tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable"),
+            tol_memory: tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).expect("solvable"),
+        }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut t = Table::new(vec![
+        "miss rate",
+        "remote frac",
+        "R",
+        "U_p",
+        "tol_network",
+        "tol_memory",
+        "zone",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            fnum(p.miss_rate, 4),
+            fnum(p.remote_fraction, 1),
+            fnum(p.runlength, 1),
+            fnum(p.rep.u_p, 4),
+            fnum(p.tol_network.index, 4),
+            fnum(p.tol_memory.index, 4),
+            p.tol_network.zone.label().to_string(),
+        ]);
+    }
+    let csv_note = ctx.save_csv("ext_cache", &t);
+    format!(
+        "Cache-derived workloads (paper footnote 4 made concrete): \
+         R = 1/miss_rate, p_remote = remote miss fraction.\n\n{}\n{csv_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_caches_move_into_the_tolerated_zone() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let bad = pts
+            .iter()
+            .find(|p| p.miss_rate == 0.5 && p.remote_fraction == 0.8)
+            .unwrap();
+        let good = pts
+            .iter()
+            .find(|p| p.miss_rate == 0.125 && p.remote_fraction == 0.8)
+            .unwrap();
+        assert!(good.tol_network.index > bad.tol_network.index + 0.1);
+        assert!(good.rep.u_p > bad.rep.u_p);
+    }
+
+    #[test]
+    fn sharing_fraction_only_matters_with_misses() {
+        // At a fixed (good) miss rate, more remote sharing still costs.
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let low = pts
+            .iter()
+            .find(|p| p.miss_rate == 0.125 && p.remote_fraction == 0.2)
+            .unwrap();
+        let high = pts
+            .iter()
+            .find(|p| p.miss_rate == 0.125 && p.remote_fraction == 0.8)
+            .unwrap();
+        assert!(low.rep.u_p >= high.rep.u_p);
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("footnote 4"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Paper Equation 4: the network saturation law
+//! `λ_net,sat = 1 / (2 · d_avg · S)`.
+//!
+//! We drive the model deep into saturation (`n_t = 24`, large `p_remote`)
+//! and compare the observed plateau against the closed form, for both
+//! switch delays and both access distributions.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::bottleneck::lambda_net_saturation;
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+
+/// One saturation check.
+pub struct Eq4Point {
+    /// Switch delay.
+    pub s: f64,
+    /// Geometric (`true`) or uniform (`false`).
+    pub geometric: bool,
+    /// Model plateau of `λ_net`.
+    pub observed: f64,
+    /// Closed-form bound.
+    pub bound: f64,
+}
+
+/// Run the checks.
+pub fn sweep(ctx: &Ctx) -> Vec<Eq4Point> {
+    let mut cells = Vec::new();
+    for &s in &[1.0, 2.0] {
+        for geo in [true, false] {
+            cells.push((s, geo));
+        }
+    }
+    let n_t = ctx.pick(24usize, 16);
+    parallel_map(&cells, |&(s, geometric)| {
+        let pattern = if geometric {
+            AccessPattern::geometric(0.5)
+        } else {
+            AccessPattern::Uniform
+        };
+        let base = SystemConfig::paper_default()
+            .with_switch_delay(s)
+            .with_pattern(pattern)
+            .with_n_threads(n_t);
+        let observed = [0.7, 0.8, 0.9, 1.0]
+            .iter()
+            .map(|&p| solve(&base.with_p_remote(p)).expect("solvable").lambda_net)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let d_avg = pattern.d_avg(&base.arch.topology, 0);
+        Eq4Point {
+            s,
+            geometric,
+            observed,
+            bound: lambda_net_saturation(d_avg, s).expect("finite S"),
+        }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut t = Table::new(vec![
+        "S",
+        "distribution",
+        "observed plateau",
+        "Eq.4 bound",
+        "ratio",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            fnum(p.s, 0),
+            if p.geometric { "geometric" } else { "uniform" }.to_string(),
+            fnum(p.observed, 4),
+            fnum(p.bound, 4),
+            fnum(p.observed / p.bound, 3),
+        ]);
+    }
+    let csv_note = ctx.save_csv("eq4", &t);
+    format!(
+        "Network saturation law (paper Eq. 4): λ_net,sat = 1/(2 d_avg S).\n\
+         The closed network approaches the open-system bound from below \
+         (finite population leaves a few percent of slack).\n\n{}\n{csv_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plateau_sits_just_below_the_bound() {
+        let ctx = Ctx::quick_temp();
+        for p in sweep(&ctx) {
+            let ratio = p.observed / p.bound;
+            assert!(
+                (0.75..=1.0001).contains(&ratio),
+                "S={} geo={}: ratio {ratio}",
+                p.s,
+                p.geometric
+            );
+        }
+    }
+
+    #[test]
+    fn doubling_s_halves_the_plateau() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let geo = |s: f64| {
+            pts.iter()
+                .find(|p| p.s == s && p.geometric)
+                .unwrap()
+                .observed
+        };
+        let ratio = geo(1.0) / geo(2.0);
+        assert!((ratio - 2.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn uniform_saturates_lower_than_geometric() {
+        // Larger d_avg (uniform) means a lower saturation rate.
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let geo = pts.iter().find(|p| p.s == 1.0 && p.geometric).unwrap();
+        let uni = pts.iter().find(|p| p.s == 1.0 && !p.geometric).unwrap();
+        assert!(uni.bound < geo.bound);
+        assert!(uni.observed < geo.observed);
+    }
+}

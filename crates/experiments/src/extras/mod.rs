@@ -1,0 +1,13 @@
+//! Closed-form checks (Equations 4 and 5) and the Section 7 extensions.
+
+pub mod buffers;
+pub mod cache;
+pub mod eq4;
+pub mod eq5;
+pub mod hotspot;
+pub mod nonmono;
+pub mod outstanding;
+pub mod ports;
+pub mod priority;
+pub mod topology;
+pub mod zones;

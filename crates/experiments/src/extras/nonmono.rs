@@ -1,0 +1,138 @@
+//! Extension: can `tol_network` exceed 1? (paper Section 7, footnote 2)
+//!
+//! The paper reports `tol_network` up to ~1.05 at large `k` under good
+//! locality — the finite-delay network beating the `S = 0` ideal. For
+//! *single-class* product-form networks, throughput is monotone in service
+//! demands, so `tol ≤ 1` is forced; for *multi-class* networks Suri showed
+//! monotonicity can fail, so `tol > 1` is not impossible in principle.
+//!
+//! This experiment searches small systems **with the exact MVA solver**
+//! (no approximation artifacts) for the largest achievable `tol_network`,
+//! and reports how close to (or beyond) 1 it gets. The outcome is recorded
+//! in EXPERIMENTS.md as the honest status of the paper's +5% claim.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::analysis::SolverChoice;
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_core::tolerance::tolerance_index_with;
+use lt_core::topology::Topology;
+
+/// One searched point.
+pub struct NonmonoPoint {
+    /// Threads.
+    pub n_t: usize,
+    /// Remote fraction.
+    pub p_remote: f64,
+    /// Locality.
+    pub p_sw: f64,
+    /// Runlength.
+    pub r: f64,
+    /// Exact tolerance index vs the `S = 0` ideal.
+    pub tol: f64,
+}
+
+/// Search the 2×2-torus configuration space with exact MVA.
+pub fn search(ctx: &Ctx) -> Vec<NonmonoPoint> {
+    let n_ts: Vec<usize> = ctx.pick(vec![1, 2, 3, 4], vec![2, 3]);
+    let ps: Vec<f64> = ctx.pick(
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        vec![0.2, 0.5, 0.8],
+    );
+    let p_sws: Vec<f64> = ctx.pick(vec![0.1, 0.3, 0.5, 0.9], vec![0.3, 0.9]);
+    let rs: Vec<f64> = ctx.pick(vec![0.5, 1.0, 2.0], vec![1.0]);
+    let mut cells = Vec::new();
+    for &n_t in &n_ts {
+        for &p in &ps {
+            for &p_sw in &p_sws {
+                for &r in &rs {
+                    cells.push((n_t, p, p_sw, r));
+                }
+            }
+        }
+    }
+    parallel_map(&cells, |&(n_t, p_remote, p_sw, r)| {
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(2))
+            .with_n_threads(n_t)
+            .with_p_remote(p_remote)
+            .with_pattern(AccessPattern::geometric(p_sw))
+            .with_runlength(r);
+        let tol = tolerance_index_with(&cfg, IdealSpec::ZeroSwitchDelay, SolverChoice::Exact)
+            .expect("exact solvable on 2x2")
+            .index;
+        NonmonoPoint {
+            n_t,
+            p_remote,
+            p_sw,
+            r,
+            tol,
+        }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let mut pts = search(ctx);
+    pts.sort_by(|a, b| b.tol.total_cmp(&a.tol));
+    let mut t = Table::new(vec!["n_t", "p_remote", "p_sw", "R", "tol_network (exact)"]);
+    for p in pts.iter().take(10) {
+        t.row(vec![
+            p.n_t.to_string(),
+            fnum(p.p_remote, 2),
+            fnum(p.p_sw, 2),
+            fnum(p.r, 1),
+            fnum(p.tol, 5),
+        ]);
+    }
+    let best = pts.first().map(|p| p.tol).unwrap_or(f64::NAN);
+    let csv_note = ctx.save_csv("ext_nonmono", &t);
+    format!(
+        "Search for tol_network > 1 with exact multi-class MVA on a 2x2 \
+         torus (Section 7 footnote 2).\n\nTop configurations:\n{}\n\
+         Best exact tolerance found: {}. Values <= 1 here mean the paper's \
+         >1 observation does not arise in this exact small-system regime; \
+         see EXPERIMENTS.md for the full discussion.\n{csv_note}\n",
+        t.render(),
+        fnum(best, 5)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tolerance_is_sane_everywhere() {
+        let ctx = Ctx::quick_temp();
+        for p in search(&ctx) {
+            assert!(p.tol > 0.0 && p.tol < 1.2, "tol = {}", p.tol);
+        }
+    }
+
+    #[test]
+    fn strong_locality_tolerates_best() {
+        let ctx = Ctx::quick_temp();
+        let pts = search(&ctx);
+        // Among matched (n_t, p_remote, R), the tighter p_sw gives the
+        // lower d_avg and thus at-least-as-good tolerance.
+        for a in &pts {
+            if a.p_sw != 0.3 {
+                continue;
+            }
+            if let Some(b) = pts
+                .iter()
+                .find(|b| b.p_sw == 0.9 && b.n_t == a.n_t && b.p_remote == a.p_remote && b.r == a.r)
+            {
+                assert!(a.tol >= b.tol - 0.02, "p_sw .3 {} vs .9 {}", a.tol, b.tol);
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("exact"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Extension: limited concurrent memory operations.
+//!
+//! The paper's introduction lists "number of concurrent memory operations"
+//! among the system architect's knobs, and Section 6 explains the
+//! early saturation of the `U_p(n_t)` curve as "a result of exhausting the
+//! hardware parallelism (concurrent hardware operations per processor)".
+//! The product-form model cannot cap outstanding accesses; the direct
+//! simulator can ([`lt_qnsim::MmsOptions::max_outstanding`]). This
+//! experiment sweeps the cap and shows threads beyond it buy nothing —
+//! the mechanism behind the paper's "most gains by 4–8 threads".
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_qnsim::MmsOptions;
+
+/// One capped run.
+pub struct OutstandingPoint {
+    /// Outstanding-access cap (`None` = unbounded).
+    pub cap: Option<usize>,
+    /// Threads.
+    pub n_t: usize,
+    /// Simulation output.
+    pub res: lt_qnsim::MmsSimResult,
+}
+
+/// Sweep caps × thread counts.
+pub fn sweep(ctx: &Ctx) -> Vec<OutstandingPoint> {
+    let horizon = ctx.pick(60_000.0, 8_000.0);
+    let n_ts: Vec<usize> = ctx.pick(vec![1, 2, 4, 8, 16], vec![2, 8]);
+    let caps = [Some(1), Some(2), Some(4), None];
+    let mut cells = Vec::new();
+    for &cap in &caps {
+        for &n_t in &n_ts {
+            cells.push((cap, n_t));
+        }
+    }
+    parallel_map(&cells, |&(cap, n_t)| {
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(0.5)
+            .with_n_threads(n_t);
+        let res = lt_qnsim::simulate(
+            &cfg,
+            &MmsOptions {
+                horizon,
+                warmup: horizon / 10.0,
+                batches: 5,
+                seed: 0x0075 + n_t as u64,
+                max_outstanding: cap,
+                ..MmsOptions::default()
+            },
+        );
+        OutstandingPoint { cap, n_t, res }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut t = Table::new(vec!["cap", "n_t", "U_p", "lambda_net", "issue stalls"]);
+    for p in &pts {
+        t.row(vec![
+            p.cap.map_or("inf".to_string(), |c| c.to_string()),
+            p.n_t.to_string(),
+            fnum(p.res.u_p.mean, 4),
+            fnum(p.res.lambda_net.mean, 4),
+            p.res.issue_stalls.to_string(),
+        ]);
+    }
+    let csv_note = ctx.save_csv("ext_outstanding", &t);
+    format!(
+        "Limited concurrent memory operations (extension; the paper's \
+         Section 6 hardware-parallelism explanation), p_remote = 0.5.\n\
+         Threads beyond the outstanding-access cap cannot overlap more \
+         latency: U_p(n_t) flattens at the cap.\n\n{}\n{csv_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(pts: &[OutstandingPoint], cap: Option<usize>, n_t: usize) -> &OutstandingPoint {
+        pts.iter().find(|p| p.cap == cap && p.n_t == n_t).unwrap()
+    }
+
+    #[test]
+    fn threads_beyond_the_cap_buy_little() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        // With cap = 2, going 2 -> 8 threads gains much less than with an
+        // unbounded cap.
+        let capped_gain = at(&pts, Some(2), 8).res.u_p.mean - at(&pts, Some(2), 2).res.u_p.mean;
+        let free_gain = at(&pts, None, 8).res.u_p.mean - at(&pts, None, 2).res.u_p.mean;
+        assert!(
+            capped_gain < 0.6 * free_gain,
+            "capped gain {capped_gain} vs free gain {free_gain}"
+        );
+    }
+
+    #[test]
+    fn unbinding_cap_equals_unbounded() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        // n_t = 2 with cap 4: the cap can never bind.
+        let capped = at(&pts, Some(4), 2);
+        assert_eq!(capped.res.issue_stalls, 0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("hardware-parallelism"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Extension: multi-ported memory (paper Section 7:
+//! "Multiporting/pipelining the memory can be of help").
+//!
+//! The analytical model handles `c` ports via the Seidmann transformation
+//! (queueing station `L/c` + delay station `L(c−1)/c`); the direct
+//! simulator implements true `c`-server semantics. This experiment
+//! measures both the performance effect and the transformation's accuracy.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_qnsim::MmsOptions;
+
+/// One port-count comparison.
+pub struct PortsPoint {
+    /// Memory ports.
+    pub ports: usize,
+    /// Model `U_p` (Seidmann approximation).
+    pub model_u_p: f64,
+    /// Simulated `U_p` (exact multi-server).
+    pub sim_u_p: f64,
+    /// Exact load-dependent MVA `U_p` of the *isolated* node
+    /// (`p_remote = 0` view) vs its own Seidmann counterpart — the
+    /// approximation error with no cross traffic in the way.
+    pub isolated_exact: f64,
+    /// Seidmann `U_p` of the isolated node.
+    pub isolated_seidmann: f64,
+}
+
+/// Run the comparison in a memory-bound setting (`L = 2R`).
+pub fn sweep(ctx: &Ctx) -> Vec<PortsPoint> {
+    let horizon = ctx.pick(80_000.0, 10_000.0);
+    let cells = [1usize, 2, 4];
+    parallel_map(&cells, |&ports| {
+        let cfg = SystemConfig::paper_default()
+            .with_memory_latency(2.0)
+            .with_memory_ports(ports);
+        let model_u_p = solve(&cfg).expect("solvable").u_p;
+        let sim = lt_qnsim::simulate(
+            &cfg,
+            &MmsOptions {
+                horizon,
+                warmup: horizon / 10.0,
+                batches: 10,
+                seed: 0x9047,
+                ..MmsOptions::default()
+            },
+        );
+        // Isolated (p_remote = 0) node: single class, exact M/M/c MVA.
+        use lt_core::mva::load_dependent::{self, RateFn};
+        use lt_core::qn::{ClosedNetwork, Station};
+        let n_t = cfg.workload.n_threads;
+        let iso = ClosedNetwork {
+            stations: vec![
+                Station::queueing("proc", 1.0),
+                Station::queueing("mem", 2.0),
+            ],
+            populations: vec![n_t],
+            visits: vec![vec![1.0, 1.0]],
+        };
+        let isolated_exact =
+            load_dependent::solve(&iso, &[RateFn::Fixed, RateFn::MultiServer(ports)])
+                .expect("solvable")
+                .throughput[0];
+        let isolated_seidmann = solve(&cfg.with_p_remote(0.0)).expect("solvable").u_p;
+        PortsPoint {
+            ports,
+            model_u_p,
+            sim_u_p: sim.u_p.mean,
+            isolated_exact,
+            isolated_seidmann,
+        }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut t = Table::new(vec![
+        "ports",
+        "model U_p (Seidmann)",
+        "sim U_p (exact)",
+        "err%",
+        "isolated exact-LD",
+        "isolated Seidmann",
+        "LD err%",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.ports.to_string(),
+            fnum(p.model_u_p, 4),
+            fnum(p.sim_u_p, 4),
+            fnum((p.model_u_p - p.sim_u_p).abs() / p.sim_u_p * 100.0, 1),
+            fnum(p.isolated_exact, 4),
+            fnum(p.isolated_seidmann, 4),
+            fnum(
+                (p.isolated_seidmann - p.isolated_exact).abs() / p.isolated_exact * 100.0,
+                1,
+            ),
+        ]);
+    }
+    let csv_note = ctx.save_csv("ext_ports", &t);
+    format!(
+        "Multi-ported memory in a memory-bound setting (L = 2, R = 1, \
+         p_remote = 0.2).\n\n{}\n{csv_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_ports_raise_utilization_in_model_and_sim() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        assert!(pts[1].model_u_p > pts[0].model_u_p);
+        assert!(pts[2].model_u_p > pts[1].model_u_p);
+        assert!(pts[1].sim_u_p > pts[0].sim_u_p);
+        assert!(pts[2].sim_u_p > pts[1].sim_u_p);
+    }
+
+    #[test]
+    fn seidmann_tracks_exact_multiserver() {
+        let ctx = Ctx::quick_temp();
+        for p in sweep(&ctx) {
+            let err = (p.model_u_p - p.sim_u_p).abs() / p.sim_u_p;
+            assert!(err < 0.1, "{} ports: err {err}", p.ports);
+        }
+    }
+
+    #[test]
+    fn exact_load_dependent_bounds_seidmann_error() {
+        let ctx = Ctx::quick_temp();
+        for p in sweep(&ctx) {
+            let err = (p.isolated_seidmann - p.isolated_exact).abs() / p.isolated_exact;
+            assert!(err < 0.06, "{} ports: isolated LD err {err}", p.ports);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("Seidmann"));
+    }
+}

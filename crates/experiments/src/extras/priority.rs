@@ -1,0 +1,156 @@
+//! Extension: EM-4-style local-priority memory.
+//!
+//! Paper Section 7: "prioritizing the local memory requests can improve
+//! the performance of a system with a very fast IN, and has been adopted
+//! in the design of EM-4". The product-form queueing network cannot
+//! express priorities, so this experiment runs the direct simulator with
+//! and without the policy, at `S = 0` (very fast network, where the paper
+//! says it matters) and `S = 1` — and compares the shadow-server MVA
+//! heuristic (`lt_core::mva::priority`) against the exact (simulated)
+//! policy.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_qnsim::MmsOptions;
+
+/// One policy comparison.
+pub struct PriorityPoint {
+    /// Switch delay.
+    pub s: f64,
+    /// Whether locals had priority.
+    pub priority: bool,
+    /// Simulation output.
+    pub res: lt_qnsim::MmsSimResult,
+    /// Analytical prediction (shadow-server heuristic when `priority`,
+    /// plain AMVA otherwise).
+    pub model: PerformanceReport,
+}
+
+/// Run the comparison.
+pub fn sweep(ctx: &Ctx) -> Vec<PriorityPoint> {
+    let horizon = ctx.pick(80_000.0, 10_000.0);
+    let mut cells = Vec::new();
+    for &s in &[0.0, 1.0] {
+        for priority in [false, true] {
+            cells.push((s, priority));
+        }
+    }
+    parallel_map(&cells, |&(s, priority)| {
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(0.5)
+            .with_switch_delay(s);
+        let res = lt_qnsim::simulate(
+            &cfg,
+            &MmsOptions {
+                horizon,
+                warmup: horizon / 10.0,
+                batches: 10,
+                seed: 0x9121,
+                local_priority_memory: priority,
+                ..MmsOptions::default()
+            },
+        );
+        let model = if priority {
+            lt_core::analysis::solve_priority(&cfg).expect("solvable")
+        } else {
+            solve(&cfg).expect("solvable")
+        };
+        PriorityPoint {
+            s,
+            priority,
+            res,
+            model,
+        }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut t = Table::new(vec![
+        "S",
+        "policy",
+        "sim U_p",
+        "model U_p",
+        "sim L_loc",
+        "model L_loc",
+        "sim L_obs",
+        "lambda_net",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            fnum(p.s, 0),
+            if p.priority { "local-priority" } else { "FCFS" }.to_string(),
+            fnum(p.res.u_p.mean, 4),
+            fnum(p.model.u_p, 4),
+            fnum(p.res.l_obs_local.mean, 3),
+            fnum(p.model.l_obs_local, 3),
+            fnum(p.res.l_obs.mean, 3),
+            fnum(p.res.lambda_net.mean, 4),
+        ]);
+    }
+    let csv_note = ctx.save_csv("ext_priority", &t);
+    format!(
+        "EM-4-style local-priority memory (Section 7 discussion), \
+         p_remote = 0.5.\n\n{}\n{csv_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(pts: &[PriorityPoint], s: f64, prio: bool) -> &PriorityPoint {
+        pts.iter().find(|p| p.s == s && p.priority == prio).unwrap()
+    }
+
+    #[test]
+    fn priority_cuts_local_latency_under_fast_network() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let fifo = at(&pts, 0.0, false).res.l_obs_local.mean;
+        let prio = at(&pts, 0.0, true).res.l_obs_local.mean;
+        assert!(prio < fifo, "priority {prio} !< fifo {fifo}");
+    }
+
+    #[test]
+    fn priority_is_work_conserving() {
+        // Total throughput stays close: the policy reshuffles waiting, it
+        // does not add capacity.
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        for &s in &[0.0, 1.0] {
+            let a = at(&pts, s, false).res.lambda_proc.mean;
+            let b = at(&pts, s, true).res.lambda_proc.mean;
+            assert!((a - b).abs() / a < 0.1, "S={s}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shadow_server_model_tracks_simulated_priority() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        for p in pts.iter().filter(|p| p.priority) {
+            let rel = (p.model.u_p - p.res.u_p.mean).abs() / p.res.u_p.mean;
+            assert!(
+                rel < 0.15,
+                "S={}: model U_p {} vs sim {}",
+                p.s,
+                p.model.u_p,
+                p.res.u_p.mean
+            );
+            // The heuristic must reproduce the *direction* of the local
+            // latency change.
+            assert!(p.model.l_obs_local < p.model.l_obs_remote.max(p.model.l_obs));
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("local-priority"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Extension: interconnect shape at equal processor count.
+//!
+//! The paper's analysis touches the interconnect only through distances
+//! and routes, so any vertex-transitive grid drops into the framework.
+//! This experiment holds `P = 16` fixed and compares the 4×4 torus against
+//! an 8×2 torus and a 16-node ring: `d_avg` grows as the shape stretches,
+//! the Equation 4 ceiling drops accordingly, and the tolerance index
+//! tracks it — a shape-level design study the original machine could not
+//! run.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::bottleneck;
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_core::topology::Topology;
+
+/// One interconnect shape.
+pub struct ShapePoint {
+    /// Human-readable shape label.
+    pub label: &'static str,
+    /// Average remote distance.
+    pub d_avg: f64,
+    /// Equation 4 saturation rate.
+    pub lambda_sat: f64,
+    /// Solved `U_p`.
+    pub u_p: f64,
+    /// Observed network latency.
+    pub s_obs: f64,
+    /// Network tolerance.
+    pub tol_network: f64,
+}
+
+/// Evaluate the three 16-PE shapes.
+pub fn sweep(_ctx: &Ctx) -> Vec<ShapePoint> {
+    let shapes: [(&'static str, Topology); 3] = [
+        ("4x4 torus", Topology::torus(4)),
+        ("8x2 torus", Topology::rect_torus(8, 2)),
+        ("16-ring", Topology::ring(16)),
+    ];
+    parallel_map(&shapes, |&(label, topo)| {
+        let cfg = SystemConfig::paper_default()
+            .with_topology(topo)
+            .with_p_remote(0.4);
+        let rep = solve(&cfg).expect("solvable");
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
+        let bn = bottleneck::analyze(&cfg).expect("analyzable");
+        ShapePoint {
+            label,
+            d_avg: rep.d_avg,
+            lambda_sat: bn.lambda_net_saturation.unwrap_or(f64::NAN),
+            u_p: rep.u_p,
+            s_obs: rep.s_obs,
+            tol_network: tol.index,
+        }
+    })
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut t = Table::new(vec![
+        "shape",
+        "d_avg",
+        "Eq.4 sat",
+        "U_p",
+        "S_obs",
+        "tol_network",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.label.to_string(),
+            fnum(p.d_avg, 3),
+            fnum(p.lambda_sat, 4),
+            fnum(p.u_p, 4),
+            fnum(p.s_obs, 3),
+            fnum(p.tol_network, 4),
+        ]);
+    }
+    let csv_note = ctx.save_csv("ext_topology", &t);
+    format!(
+        "Interconnect shape at P = 16 (extension), p_remote = 0.4, \
+         geometric p_sw = 0.5.\n\n{}\n{csv_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretching_the_shape_hurts() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let square = pts.iter().find(|p| p.label == "4x4 torus").unwrap();
+        let rect = pts.iter().find(|p| p.label == "8x2 torus").unwrap();
+        let ring = pts.iter().find(|p| p.label == "16-ring").unwrap();
+        assert!(square.d_avg < rect.d_avg);
+        assert!(rect.d_avg < ring.d_avg);
+        assert!(square.tol_network > ring.tol_network);
+        assert!(square.lambda_sat > ring.lambda_sat);
+    }
+
+    #[test]
+    fn ring_model_tracks_simulation() {
+        // The generalized topology must still agree with the simulator.
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::ring(8))
+            .with_p_remote(0.4);
+        let model = solve(&cfg).unwrap();
+        let sim = lt_qnsim::simulate(
+            &cfg,
+            &lt_qnsim::MmsOptions {
+                horizon: 20_000.0,
+                warmup: 2_000.0,
+                batches: 5,
+                seed: 0x417,
+                ..Default::default()
+            },
+        );
+        let rel = (model.u_p - sim.u_p.mean).abs() / sim.u_p.mean;
+        assert!(rel < 0.06, "model {} vs sim {}", model.u_p, sim.u_p.mean);
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("16-ring"));
+    }
+}

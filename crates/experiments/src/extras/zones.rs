@@ -1,0 +1,160 @@
+//! The tolerance-zone design map.
+//!
+//! The paper's practical pitch is that compilers and architects should
+//! read tolerance zones, not raw latencies. This experiment renders the
+//! map they would actually consult: over the `(R, p_remote)` plane (the
+//! two knobs a compiler controls through grouping and data distribution),
+//! the network-tolerance zone of every point, plus the traced boundary
+//! `p_remote*(R)` where the zone first degrades — alongside the closed
+//! Equation 5 knee for comparison.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use crate::svg::SvgChart;
+use lt_core::bottleneck::critical_p_remote;
+use lt_core::prelude::*;
+use lt_core::sweep::{grid, linspace, parallel_map};
+
+/// One grid cell of the map.
+pub struct ZoneCell {
+    /// Runlength.
+    pub r: f64,
+    /// Remote fraction.
+    pub p_remote: f64,
+    /// Tolerance index.
+    pub tol: f64,
+    /// Zone.
+    pub zone: ToleranceZone,
+}
+
+/// Compute the map.
+pub fn sweep(ctx: &Ctx) -> Vec<ZoneCell> {
+    let rs: Vec<f64> = ctx.pick(linspace(0.5, 8.0, 16), vec![1.0, 2.0, 4.0]);
+    let ps: Vec<f64> = ctx.pick(linspace(0.05, 0.95, 19), vec![0.1, 0.4, 0.8]);
+    let cells = grid(&rs, &ps);
+    parallel_map(&cells, |&(r, p)| {
+        let cfg = SystemConfig::paper_default()
+            .with_runlength(r)
+            .with_p_remote(p);
+        let t = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
+        ZoneCell {
+            r,
+            p_remote: p,
+            tol: t.index,
+            zone: t.zone,
+        }
+    })
+}
+
+/// Trace the boundary `p*(R)` where the tolerance first drops below
+/// `threshold` (1.0 when it never does within the sweep).
+pub fn boundary(cells: &[ZoneCell], threshold: f64) -> Vec<(f64, f64)> {
+    let mut rs: Vec<f64> = cells.iter().map(|c| c.r).collect();
+    rs.sort_by(f64::total_cmp);
+    rs.dedup();
+    rs.iter()
+        .map(|&r| {
+            let crossing = cells
+                .iter()
+                .filter(|c| c.r == r && c.tol < threshold)
+                .map(|c| c.p_remote)
+                .fold(f64::INFINITY, f64::min);
+            (r, if crossing.is_finite() { crossing } else { 1.0 })
+        })
+        .collect()
+}
+
+/// Generate the report.
+pub fn run(ctx: &Ctx) -> String {
+    let cells = sweep(ctx);
+    let mut csv = Table::new(vec!["R", "p_remote", "tol_network", "zone"]);
+    for c in &cells {
+        csv.row(vec![
+            fnum(c.r, 2),
+            fnum(c.p_remote, 2),
+            fnum(c.tol, 4),
+            c.zone.label().to_string(),
+        ]);
+    }
+    let csv_note = ctx.save_csv("zones", &csv);
+
+    let b08 = boundary(&cells, 0.8);
+    let b05 = boundary(&cells, 0.5);
+    let eq5: Vec<(f64, f64)> = b08
+        .iter()
+        .map(|&(r, _)| {
+            (
+                r,
+                critical_p_remote(r, 1.0, 1.0, 1.7333333333).unwrap_or(1.0),
+            )
+        })
+        .collect();
+    let series = vec![
+        ("tolerated boundary (tol = 0.8)".to_string(), b08.clone()),
+        ("partial boundary (tol = 0.5)".to_string(), b05.clone()),
+        ("Eq. 5 knee".to_string(), eq5),
+    ];
+    let svg_note = ctx.save_svg(
+        "zones_boundary",
+        &SvgChart::new(
+            "tolerance-zone boundaries over (R, p_remote)",
+            "runlength R",
+            "p_remote",
+        ),
+        &series,
+    );
+
+    let mut t = Table::new(vec!["R", "p* (tol=0.8)", "p* (tol=0.5)", "Eq.5 knee"]);
+    for ((r, p8), (_, p5)) in b08.iter().zip(&b05) {
+        t.row(vec![
+            fnum(*r, 2),
+            fnum(*p8, 3),
+            fnum(*p5, 3),
+            critical_p_remote(*r, 1.0, 1.0, 1.7333333333).map_or("-".into(), |p| fnum(p, 3)),
+        ]);
+    }
+    format!(
+        "Tolerance-zone design map over (R, p_remote) — the compiler's \
+         chart: stay left of/below the 0.8 boundary and the network is \
+         free.\n\n{}\n{csv_note}\n{svg_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_monotone_in_r() {
+        // Longer runlengths tolerate more remote traffic: p*(R) rises.
+        let ctx = Ctx::quick_temp();
+        let cells = sweep(&ctx);
+        let b = boundary(&cells, 0.8);
+        for w in b.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "boundary dipped: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn partial_boundary_lies_beyond_tolerated_boundary() {
+        let ctx = Ctx::quick_temp();
+        let cells = sweep(&ctx);
+        let b08 = boundary(&cells, 0.8);
+        let b05 = boundary(&cells, 0.5);
+        for ((_, p8), (_, p5)) in b08.iter().zip(&b05) {
+            assert!(p5 >= p8);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("design map"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared sweep machinery for the figure generators.
+
+use crate::ctx::Ctx;
+use crate::output::{ascii_chart, fnum, Table};
+use crate::svg::SvgChart;
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+
+/// One solved point of a network-latency surface.
+pub struct SurfacePoint {
+    /// Threads per processor.
+    pub n_t: usize,
+    /// Remote-access probability.
+    pub p_remote: f64,
+    /// The solved measures.
+    pub rep: PerformanceReport,
+    /// Network tolerance index (`S = 0` ideal).
+    pub tol_network: ToleranceReport,
+}
+
+/// Thread-count axis (paper: 1..=20).
+pub fn nt_axis(ctx: &Ctx) -> Vec<usize> {
+    ctx.pick((1..=20).collect(), vec![1, 2, 4, 8, 16])
+}
+
+/// `p_remote` axis (paper plots 0..~0.9).
+pub fn p_axis(ctx: &Ctx) -> Vec<f64> {
+    if ctx.quick {
+        vec![0.1, 0.3, 0.5, 0.8]
+    } else {
+        (1..=18).map(|i| i as f64 * 0.05).collect()
+    }
+}
+
+/// Solve the `(n_t, p_remote)` surface for a given runlength.
+pub fn network_surface(ctx: &Ctx, runlength: f64) -> Vec<SurfacePoint> {
+    let base = SystemConfig::paper_default().with_runlength(runlength);
+    let cells: Vec<(usize, f64)> = lt_core::sweep::grid(&nt_axis(ctx), &p_axis(ctx));
+    parallel_map(&cells, |&(n_t, p)| {
+        let cfg = base.with_n_threads(n_t).with_p_remote(p);
+        let rep = solve(&cfg).expect("solvable configuration");
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable ideal");
+        SurfacePoint {
+            n_t,
+            p_remote: p,
+            rep,
+            tol_network: tol,
+        }
+    })
+}
+
+/// The full fig4/fig5 report for a given runlength.
+pub fn network_surface_report(ctx: &Ctx, runlength: f64, id: &str) -> String {
+    let points = network_surface(ctx, runlength);
+
+    let mut csv = Table::new(vec![
+        "n_t",
+        "p_remote",
+        "u_p",
+        "s_obs",
+        "lambda_net",
+        "tol_network",
+        "zone",
+    ]);
+    for p in &points {
+        csv.row(vec![
+            p.n_t.to_string(),
+            fnum(p.p_remote, 3),
+            fnum(p.rep.u_p, 4),
+            fnum(p.rep.s_obs, 3),
+            fnum(p.rep.lambda_net, 4),
+            fnum(p.tol_network.index, 4),
+            p.tol_network.zone.label().to_string(),
+        ]);
+    }
+    let csv_note = ctx.save_csv(id, &csv);
+
+    // Charts: U_p and tol_network vs p_remote for a few thread counts.
+    let ps = p_axis(ctx);
+    let chart_nts: Vec<usize> = nt_axis(ctx)
+        .into_iter()
+        .filter(|n| [2usize, 4, 8, 16].contains(n))
+        .collect();
+    let series_of = |f: &dyn Fn(&SurfacePoint) -> f64| -> Vec<(String, Vec<f64>)> {
+        chart_nts
+            .iter()
+            .map(|&n| {
+                let ys: Vec<f64> = ps
+                    .iter()
+                    .map(|&p| {
+                        points
+                            .iter()
+                            .find(|pt| pt.n_t == n && (pt.p_remote - p).abs() < 1e-9)
+                            .map(f)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                (format!("n_t = {n}"), ys)
+            })
+            .collect()
+    };
+    let render_chart = |title: &str, data: &[(String, Vec<f64>)]| {
+        let refs: Vec<(&str, &[f64])> = data
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_slice()))
+            .collect();
+        ascii_chart(title, &ps, &refs, 60, 14)
+    };
+    let u_p_series = series_of(&|pt| pt.rep.u_p);
+    let tol_series = series_of(&|pt| pt.tol_network.index);
+    let net_series = series_of(&|pt| pt.rep.lambda_net);
+
+    // SVG renditions alongside the CSV.
+    let to_xy = |data: &[(String, Vec<f64>)]| -> Vec<(String, Vec<(f64, f64)>)> {
+        data.iter()
+            .map(|(n, ys)| {
+                (
+                    n.clone(),
+                    ps.iter().copied().zip(ys.iter().copied()).collect(),
+                )
+            })
+            .collect()
+    };
+    let svg_notes = [
+        ctx.save_svg(
+            &format!("{id}_u_p"),
+            &SvgChart::new(
+                format!("U_p vs p_remote (R = {runlength})"),
+                "p_remote",
+                "U_p",
+            ),
+            &to_xy(&u_p_series),
+        ),
+        ctx.save_svg(
+            &format!("{id}_tol"),
+            &SvgChart::new(
+                format!("tol_network vs p_remote (R = {runlength})"),
+                "p_remote",
+                "tolerance index",
+            ),
+            &to_xy(&tol_series),
+        ),
+        ctx.save_svg(
+            &format!("{id}_lambda_net"),
+            &SvgChart::new(
+                format!("lambda_net vs p_remote (R = {runlength})"),
+                "p_remote",
+                "lambda_net",
+            ),
+            &to_xy(&net_series),
+        ),
+    ];
+
+    // Saturation analysis (paper Eq. 4 onset).
+    let bn = lt_core::bottleneck::analyze(
+        &SystemConfig::paper_default()
+            .with_runlength(runlength)
+            .with_p_remote(0.5),
+    )
+    .expect("analyzable");
+    let sat = bn.lambda_net_saturation.unwrap_or(f64::NAN);
+    let max_net = points
+        .iter()
+        .map(|p| p.rep.lambda_net)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let onset = points
+        .iter()
+        .filter(|p| p.n_t >= 8 && p.rep.lambda_net >= 0.95 * max_net)
+        .map(|p| p.p_remote)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Network-latency surfaces at R = {runlength} (paper Figure {}).\n\n",
+        if runlength == 1.0 { "4" } else { "5" }
+    ));
+    out.push_str(&render_chart("U_p vs p_remote", &u_p_series));
+    out.push('\n');
+    out.push_str(&render_chart("tol_network vs p_remote", &tol_series));
+    out.push('\n');
+    out.push_str(&render_chart("lambda_net vs p_remote", &net_series));
+    out.push('\n');
+    out.push_str(&format!(
+        "Saturation: max observed lambda_net = {} vs Eq.4 bound {} \
+         (ratio {}); >=95%-of-max reached from p_remote ~ {}.\n",
+        fnum(max_net, 4),
+        fnum(sat, 4),
+        fnum(max_net / sat, 3),
+        fnum(onset, 2),
+    ));
+    out.push_str(&format!("{csv_note}\n"));
+    for note in svg_notes {
+        out.push_str(&format!("{note}\n"));
+    }
+    out
+}
+
+/// Integer divisor pairs `(n_t, R)` with `n_t * R = product`.
+pub fn divisor_pairs(product: usize) -> Vec<(usize, usize)> {
+    (1..=product)
+        .filter(|d| product % d == 0)
+        .map(|d| (d, product / d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisor_pairs_of_8() {
+        assert_eq!(divisor_pairs(8), vec![(1, 8), (2, 4), (4, 2), (8, 1)]);
+    }
+
+    #[test]
+    fn quick_surface_is_complete() {
+        let ctx = Ctx::quick_temp();
+        let pts = network_surface(&ctx, 1.0);
+        assert_eq!(pts.len(), nt_axis(&ctx).len() * p_axis(&ctx).len());
+        for p in &pts {
+            assert!(p.rep.u_p > 0.0 && p.rep.u_p <= 1.0 + 1e-9);
+            assert!(p.tol_network.index > 0.0);
+        }
+    }
+}

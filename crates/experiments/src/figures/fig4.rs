@@ -1,0 +1,72 @@
+//! Paper Figure 4: `U_p`, `S_obs`, `λ_net`, and `tol_network` as functions
+//! of `(n_t, p_remote)` at runlength `R = 1`.
+//!
+//! Shapes the paper reports (and this generator reproduces):
+//! * `λ_net` saturates near `1/(2·d_avg·S) ≈ 0.29`, with the onset around
+//!   `p_remote ≈ 0.3`;
+//! * `U_p` is near its maximum for small `p_remote`, drops past the
+//!   critical point, and flattens once the network saturates;
+//! * most of the `U_p` gain arrives by `n_t ≈ 4–8`;
+//! * `tol_network` crosses the 0.8 (tolerated) and 0.5 (partially
+//!   tolerated) planes as `p_remote` grows.
+
+use crate::ctx::Ctx;
+use crate::figures::common::network_surface_report;
+
+/// Generate the figure.
+pub fn run(ctx: &Ctx) -> String {
+    network_surface_report(ctx, 1.0, "fig4")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::common::network_surface;
+
+    #[test]
+    fn report_mentions_saturation() {
+        let ctx = Ctx::quick_temp();
+        let text = run(&ctx);
+        assert!(text.contains("Saturation"));
+        assert!(text.contains("tol_network"));
+    }
+
+    #[test]
+    fn u_p_decreases_with_p_remote_at_fixed_threads() {
+        let ctx = Ctx::quick_temp();
+        let pts = network_surface(&ctx, 1.0);
+        let at = |p: f64| {
+            pts.iter()
+                .find(|pt| pt.n_t == 8 && (pt.p_remote - p).abs() < 1e-9)
+                .unwrap()
+                .rep
+                .u_p
+        };
+        assert!(at(0.1) > at(0.5));
+        assert!(at(0.5) > at(0.8));
+    }
+
+    #[test]
+    fn lambda_net_saturates_near_eq4_bound() {
+        // Paper: λ_net saturates at ~0.29 for S = 1 (within the few percent
+        // the finite-population model leaves below the open bound).
+        let ctx = Ctx::quick_temp();
+        let pts = network_surface(&ctx, 1.0);
+        let max_net = pts
+            .iter()
+            .map(|p| p.rep.lambda_net)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_net > 0.23 && max_net <= 0.29, "max λ_net = {max_net}");
+    }
+
+    #[test]
+    fn tolerance_zones_all_appear_on_surface() {
+        use lt_core::prelude::ToleranceZone;
+        let ctx = Ctx::quick_temp();
+        let pts = network_surface(&ctx, 1.0);
+        let zones: Vec<_> = pts.iter().map(|p| p.tol_network.zone).collect();
+        assert!(zones.contains(&ToleranceZone::Tolerated));
+        assert!(zones.contains(&ToleranceZone::PartiallyTolerated));
+        assert!(zones.contains(&ToleranceZone::NotTolerated));
+    }
+}

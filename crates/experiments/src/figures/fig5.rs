@@ -1,0 +1,64 @@
+//! Paper Figure 5: the Figure 4 surfaces at runlength `R = 2`.
+//!
+//! The doubled runlength halves the access rate, so every knee moves right:
+//! `λ_net` saturates from `p_remote ≈ 0.6` instead of 0.3, the critical
+//! `p_remote` rises to ≈ 0.61 (Equation 5), and the network latency stays
+//! tolerated over a much wider range.
+
+use crate::ctx::Ctx;
+use crate::figures::common::network_surface_report;
+
+/// Generate the figure.
+pub fn run(ctx: &Ctx) -> String {
+    network_surface_report(ctx, 2.0, "fig5")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::common::network_surface;
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("R = 2"));
+    }
+
+    #[test]
+    fn r2_tolerates_more_than_r1() {
+        // Same (n_t, p_remote): R = 2 must tolerate at least as well.
+        let ctx = Ctx::quick_temp();
+        let r1 = network_surface(&ctx, 1.0);
+        let r2 = network_surface(&ctx, 2.0);
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!((a.n_t, a.p_remote), (b.n_t, b.p_remote));
+            assert!(
+                b.tol_network.index >= a.tol_network.index - 0.02,
+                "n_t={} p={}: R2 {} < R1 {}",
+                a.n_t,
+                a.p_remote,
+                b.tol_network.index,
+                a.tol_network.index
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_onset_shifts_right_with_r() {
+        // λ_net at p_remote = 0.3: R = 1 is near saturation; R = 2 is not
+        // (its message rate is half as high).
+        let ctx = Ctx::quick_temp();
+        let r1 = network_surface(&ctx, 1.0);
+        let r2 = network_surface(&ctx, 2.0);
+        let net = |pts: &[crate::figures::common::SurfacePoint], p: f64| {
+            pts.iter()
+                .filter(|pt| pt.n_t == 16 && (pt.p_remote - p).abs() < 1e-9)
+                .map(|pt| pt.rep.lambda_net)
+                .next()
+                .unwrap()
+        };
+        let sat1 = net(&r1, 0.8);
+        assert!(net(&r1, 0.3) > 0.85 * sat1, "R=1 near saturation at 0.3");
+        assert!(net(&r2, 0.3) < 0.85 * sat1, "R=2 not yet saturated at 0.3");
+    }
+}

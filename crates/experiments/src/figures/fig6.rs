@@ -1,0 +1,135 @@
+//! Paper Figure 6: `tol_network` over the `(n_t, R)` plane at
+//! `p_remote ∈ {0.2, 0.4}`.
+//!
+//! The figure underlies the thread-partitioning discussion: runlength `R`
+//! lifts the tolerance surface much faster than thread count `n_t`.
+
+use crate::ctx::Ctx;
+use crate::output::{ascii_chart, fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::{grid, parallel_map};
+
+/// Axes of the surface.
+pub fn axes(ctx: &Ctx) -> (Vec<usize>, Vec<usize>) {
+    let n_t = ctx.pick((1..=20).collect(), vec![1, 2, 4, 8, 16]);
+    let r = ctx.pick((1..=10).collect(), vec![1, 2, 4, 8]);
+    (n_t, r)
+}
+
+/// Solve the surface for one `p_remote`.
+pub fn surface(ctx: &Ctx, p_remote: f64) -> Vec<(usize, usize, ToleranceReport)> {
+    let (n_ts, rs) = axes(ctx);
+    let cells = grid(&n_ts, &rs);
+    let base = SystemConfig::paper_default().with_p_remote(p_remote);
+    parallel_map(&cells, |&(n_t, r)| {
+        let cfg = base.with_n_threads(n_t).with_runlength(r as f64);
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
+        (n_t, r, tol)
+    })
+}
+
+/// Generate the figure.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out = String::from("tol_network over the (n_t, R) plane (paper Figure 6).\n\n");
+    for &p_remote in &[0.2, 0.4] {
+        let pts = surface(ctx, p_remote);
+        let mut csv = Table::new(vec!["p_remote", "n_t", "R", "tol_network", "u_p", "zone"]);
+        let mut zone_counts = [0usize; 3];
+        for (n_t, r, tol) in &pts {
+            csv.row(vec![
+                fnum(p_remote, 2),
+                n_t.to_string(),
+                r.to_string(),
+                fnum(tol.index, 4),
+                fnum(tol.u_p, 4),
+                tol.zone.label().to_string(),
+            ]);
+            zone_counts[match tol.zone {
+                ToleranceZone::Tolerated => 0,
+                ToleranceZone::PartiallyTolerated => 1,
+                ToleranceZone::NotTolerated => 2,
+            }] += 1;
+        }
+        let name = format!("fig6_p{}", (p_remote * 100.0) as u32);
+        let csv_note = ctx.save_csv(&name, &csv);
+
+        // Chart: tol vs R at a few n_t.
+        let (n_ts, rs) = axes(ctx);
+        let xs: Vec<f64> = rs.iter().map(|&r| r as f64).collect();
+        let chart_nts: Vec<usize> = n_ts
+            .iter()
+            .copied()
+            .filter(|n| [1usize, 4, 16].contains(n))
+            .collect();
+        let series: Vec<(String, Vec<f64>)> = chart_nts
+            .iter()
+            .map(|&n| {
+                let ys = rs
+                    .iter()
+                    .map(|&r| {
+                        pts.iter()
+                            .find(|(nt, rr, _)| *nt == n && *rr == r)
+                            .map(|(_, _, t)| t.index)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                (format!("n_t = {n}"), ys)
+            })
+            .collect();
+        let refs: Vec<(&str, &[f64])> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_slice()))
+            .collect();
+        out.push_str(&ascii_chart(
+            &format!("tol_network vs R at p_remote = {p_remote}"),
+            &xs,
+            &refs,
+            60,
+            12,
+        ));
+        out.push_str(&format!(
+            "zones at p_remote = {p_remote}: tolerated {} / partial {} / not {}  {}\n\n",
+            zone_counts[0], zone_counts[1], zone_counts[2], csv_note
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_monotone_in_runlength() {
+        let ctx = Ctx::quick_temp();
+        let pts = surface(&ctx, 0.4);
+        let at = |n_t: usize, r: usize| {
+            pts.iter()
+                .find(|(n, rr, _)| *n == n_t && *rr == r)
+                .unwrap()
+                .2
+                .index
+        };
+        assert!(at(4, 8) > at(4, 1));
+        assert!(at(16, 8) > at(16, 1));
+    }
+
+    #[test]
+    fn higher_p_remote_lowers_surface() {
+        let ctx = Ctx::quick_temp();
+        let lo = surface(&ctx, 0.2);
+        let hi = surface(&ctx, 0.4);
+        for ((n, r, a), (n2, r2, b)) in lo.iter().zip(&hi) {
+            assert_eq!((n, r), (n2, r2));
+            assert!(b.index <= a.index + 0.02);
+        }
+    }
+
+    #[test]
+    fn report_renders_both_p_values() {
+        let ctx = Ctx::quick_temp();
+        let text = run(&ctx);
+        assert!(text.contains("p_remote = 0.2"));
+        assert!(text.contains("p_remote = 0.4"));
+    }
+}

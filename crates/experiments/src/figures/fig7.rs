@@ -1,0 +1,182 @@
+//! Paper Figure 7: thread partitioning — `tol_network` along curves of
+//! constant exposed computation `n_t · R`.
+//!
+//! The partitioning strategy for a do-all loop keeps `n_t · R` fixed and
+//! trades thread count against granularity. The paper's conclusions, which
+//! this generator reproduces: a higher product exposes more work and
+//! tolerates better; along one curve, *large `R` with few threads beats
+//! many small threads* as long as `n_t > 1`.
+
+use crate::ctx::Ctx;
+use crate::figures::common::divisor_pairs;
+use crate::output::{ascii_chart, fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+
+/// The constant-work products the paper plots.
+pub const PRODUCTS: [usize; 5] = [2, 4, 6, 8, 10];
+
+/// One partitioning point.
+pub struct PartitionPoint {
+    /// `n_t · R`.
+    pub product: usize,
+    /// Threads.
+    pub n_t: usize,
+    /// Runlength.
+    pub r: usize,
+    /// Remote fraction.
+    pub p_remote: f64,
+    /// Solved measures.
+    pub rep: PerformanceReport,
+    /// Network tolerance.
+    pub tol: ToleranceReport,
+}
+
+/// Solve every divisor pair for every product at one `p_remote`.
+pub fn partition_sweep(p_remote: f64) -> Vec<PartitionPoint> {
+    let mut cells = Vec::new();
+    for &product in &PRODUCTS {
+        for (n_t, r) in divisor_pairs(product) {
+            cells.push((product, n_t, r));
+        }
+    }
+    let base = SystemConfig::paper_default().with_p_remote(p_remote);
+    parallel_map(&cells, |&(product, n_t, r)| {
+        let cfg = base.with_n_threads(n_t).with_runlength(r as f64);
+        PartitionPoint {
+            product,
+            n_t,
+            r,
+            p_remote,
+            rep: solve(&cfg).expect("solvable"),
+            tol: tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable"),
+        }
+    })
+}
+
+/// Generate the figure.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out = String::from(
+        "Thread partitioning: tol_network along n_t * R = const (paper Figure 7).\n\n",
+    );
+    for &p_remote in &[0.2, 0.4] {
+        let pts = partition_sweep(p_remote);
+        let mut csv = Table::new(vec![
+            "p_remote",
+            "product",
+            "n_t",
+            "R",
+            "u_p",
+            "tol_network",
+        ]);
+        for pt in &pts {
+            csv.row(vec![
+                fnum(pt.p_remote, 2),
+                pt.product.to_string(),
+                pt.n_t.to_string(),
+                pt.r.to_string(),
+                fnum(pt.rep.u_p, 4),
+                fnum(pt.tol.index, 4),
+            ]);
+        }
+        let csv_note = ctx.save_csv(&format!("fig7_p{}", (p_remote * 100.0) as u32), &csv);
+
+        // One series per product over the R axis (paper's x-axis).
+        let rs: Vec<usize> = {
+            let mut v: Vec<usize> = pts.iter().map(|p| p.r).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let xs: Vec<f64> = rs.iter().map(|&r| r as f64).collect();
+        let series: Vec<(String, Vec<f64>)> = PRODUCTS
+            .iter()
+            .map(|&prod| {
+                let ys = rs
+                    .iter()
+                    .map(|&r| {
+                        pts.iter()
+                            .find(|p| p.product == prod && p.r == r)
+                            .map(|p| p.tol.index)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                (format!("n_t x R = {prod}"), ys)
+            })
+            .collect();
+        let refs: Vec<(&str, &[f64])> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_slice()))
+            .collect();
+        out.push_str(&ascii_chart(
+            &format!("tol_network vs R, curves of n_t x R = const, p_remote = {p_remote}"),
+            &xs,
+            &refs,
+            60,
+            14,
+        ));
+        out.push_str(&format!("{csv_note}\n\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_product_tolerates_better() {
+        // At matched R, the curve with larger n_t*R lies above.
+        let pts = partition_sweep(0.2);
+        let at = |prod: usize, r: usize| {
+            pts.iter()
+                .find(|p| p.product == prod && p.r == r)
+                .map(|p| p.tol.index)
+        };
+        assert!(at(8, 2).unwrap() > at(4, 2).unwrap());
+        assert!(at(10, 2).unwrap() > at(2, 2).unwrap());
+    }
+
+    #[test]
+    fn high_r_beats_high_nt_on_same_curve() {
+        // Paper: "a high R (rather than a high n_t) provides better latency
+        // tolerance, as long as n_t is more than 1". Compare (n_t=2, R=4)
+        // with (n_t=4, R=2) and (n_t=8, R=1) on the product-8 curve.
+        let pts = partition_sweep(0.4);
+        let at = |n_t: usize, r: usize| {
+            pts.iter()
+                .find(|p| p.product == 8 && p.n_t == n_t && p.r == r)
+                .unwrap()
+                .tol
+                .index
+        };
+        assert!(at(2, 4) >= at(8, 1) - 1e-9, "{} vs {}", at(2, 4), at(8, 1));
+        assert!(at(4, 2) >= at(8, 1) - 1e-9);
+    }
+
+    #[test]
+    fn single_thread_cannot_overlap() {
+        // n_t = 1 forfeits multithreading: U_p is lowest on each curve.
+        let pts = partition_sweep(0.2);
+        for &prod in &[4usize, 8] {
+            let u1 = pts
+                .iter()
+                .find(|p| p.product == prod && p.n_t == 1)
+                .unwrap()
+                .rep
+                .u_p;
+            let best = pts
+                .iter()
+                .filter(|p| p.product == prod)
+                .map(|p| p.rep.u_p)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(u1 < best, "prod {prod}: u1 {u1} vs best {best}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("n_t x R = 10"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Paper Figure 8: `tol_memory` over the `(n_t, R)` plane for memory
+//! latencies `L ∈ {1, 2}` at `p_remote = 0.2`.
+//!
+//! Reproduced shapes: for `R ≥ 2L` and moderate thread counts the memory
+//! latency is fully tolerated (`tol_memory → 1`); doubling `L` pushes the
+//! tolerated region toward larger runlengths.
+
+use crate::ctx::Ctx;
+use crate::output::{ascii_chart, fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::{grid, parallel_map};
+
+/// Axes of the surface.
+pub fn axes(ctx: &Ctx) -> (Vec<usize>, Vec<usize>) {
+    let n_t = ctx.pick((1..=20).collect(), vec![1, 2, 4, 8, 16]);
+    let r = ctx.pick((1..=10).collect(), vec![1, 2, 4, 8]);
+    (n_t, r)
+}
+
+/// Solve the `tol_memory` surface for one memory latency.
+pub fn surface(ctx: &Ctx, l: f64) -> Vec<(usize, usize, ToleranceReport)> {
+    let (n_ts, rs) = axes(ctx);
+    let cells = grid(&n_ts, &rs);
+    let base = SystemConfig::paper_default().with_memory_latency(l);
+    parallel_map(&cells, |&(n_t, r)| {
+        let cfg = base.with_n_threads(n_t).with_runlength(r as f64);
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).expect("solvable");
+        (n_t, r, tol)
+    })
+}
+
+/// Generate the figure.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out =
+        String::from("tol_memory over the (n_t, R) plane, p_remote = 0.2 (paper Figure 8).\n\n");
+    for &l in &[1.0, 2.0] {
+        let pts = surface(ctx, l);
+        let mut csv = Table::new(vec!["L", "n_t", "R", "tol_memory", "u_p", "zone"]);
+        for (n_t, r, tol) in &pts {
+            csv.row(vec![
+                fnum(l, 1),
+                n_t.to_string(),
+                r.to_string(),
+                fnum(tol.index, 4),
+                fnum(tol.u_p, 4),
+                tol.zone.label().to_string(),
+            ]);
+        }
+        let csv_note = ctx.save_csv(&format!("fig8_L{}", l as u32), &csv);
+
+        let (_, rs) = axes(ctx);
+        let xs: Vec<f64> = rs.iter().map(|&r| r as f64).collect();
+        let series: Vec<(String, Vec<f64>)> = [1usize, 4, 16]
+            .iter()
+            .map(|&n| {
+                let ys = rs
+                    .iter()
+                    .map(|&r| {
+                        pts.iter()
+                            .find(|(nt, rr, _)| *nt == n && *rr == r)
+                            .map(|(_, _, t)| t.index)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                (format!("n_t = {n}"), ys)
+            })
+            .collect();
+        let refs: Vec<(&str, &[f64])> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_slice()))
+            .collect();
+        out.push_str(&ascii_chart(
+            &format!("tol_memory vs R at L = {l}"),
+            &xs,
+            &refs,
+            60,
+            12,
+        ));
+        out.push_str(&format!("{csv_note}\n\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_tolerance_saturates_for_long_runlengths() {
+        // Paper: "For R >= 2L and n_t >= 6, tol_memory saturates at ~1".
+        let ctx = Ctx::quick_temp();
+        let pts = surface(&ctx, 1.0);
+        let t = pts
+            .iter()
+            .find(|(n, r, _)| *n == 8 && *r == 4)
+            .unwrap()
+            .2
+            .index;
+        assert!(t > 0.9, "tol_memory = {t}");
+    }
+
+    #[test]
+    fn doubling_l_lowers_tolerance() {
+        let ctx = Ctx::quick_temp();
+        let l1 = surface(&ctx, 1.0);
+        let l2 = surface(&ctx, 2.0);
+        for ((n, r, a), (n2, r2, b)) in l1.iter().zip(&l2) {
+            assert_eq!((n, r), (n2, r2));
+            assert!(
+                b.index <= a.index + 0.02,
+                "n_t={n} R={r}: L2 {} > L1 {}",
+                b.index,
+                a.index
+            );
+        }
+    }
+
+    #[test]
+    fn tolerating_memory_does_not_imply_high_u_p() {
+        // Paper Section 6 point 1: high tol_memory with low U_p is possible
+        // when the *network* is the bottleneck.
+        // p_remote = 0.9 at R = 2 drives λ_net past the Eq. 4 bound, so
+        // the network throttles U_p while the memory stays lightly loaded.
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(0.9)
+            .with_runlength(2.0)
+            .with_n_threads(8);
+        let tol_mem = tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).unwrap();
+        assert!(tol_mem.index > 0.85, "memory tolerated: {}", tol_mem.index);
+        assert!(tol_mem.u_p < 0.8, "but U_p is held down by the network");
+    }
+
+    #[test]
+    fn report_renders_both_l_values() {
+        let ctx = Ctx::quick_temp();
+        let text = run(&ctx);
+        assert!(text.contains("L = 1"));
+        assert!(text.contains("L = 2"));
+    }
+}

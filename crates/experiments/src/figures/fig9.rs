@@ -1,0 +1,220 @@
+//! Paper Figure 9: scaling the machine — `tol_network` vs `n_t` for
+//! `k ∈ {2, 4, 6, 8, 10}` (P = 4..100), geometric vs uniform remote
+//! accesses, at `R ∈ {1, 2}` and `p_remote = 0.2`.
+//!
+//! Reproduced shapes: under the uniform distribution `d_avg` grows with the
+//! machine and the network latency stops being tolerated, while the
+//! geometric distribution's `d_avg` approaches `1/(1−p_sw) = 2` and the
+//! tolerance stays high and nearly size-independent; the thread count
+//! needed to reach the plateau (≈5–8) does not change with `P`.
+
+use crate::ctx::Ctx;
+use crate::output::{ascii_chart, fnum, Table};
+use crate::svg::SvgChart;
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+use lt_core::topology::Topology;
+
+/// Mesh sizes per dimension.
+pub fn k_axis(ctx: &Ctx) -> Vec<usize> {
+    ctx.pick(vec![2, 4, 6, 8, 10], vec![2, 4, 6])
+}
+
+/// Thread axis.
+pub fn nt_axis(ctx: &Ctx) -> Vec<usize> {
+    ctx.pick((1..=10).collect(), vec![1, 4, 8])
+}
+
+/// One scaling point.
+pub struct ScalePoint {
+    /// PEs per dimension.
+    pub k: usize,
+    /// `true` = geometric, `false` = uniform.
+    pub geometric: bool,
+    /// Runlength.
+    pub r: f64,
+    /// Threads.
+    pub n_t: usize,
+    /// Network tolerance.
+    pub tol: ToleranceReport,
+}
+
+/// Run the scaling sweep.
+pub fn sweep(ctx: &Ctx) -> Vec<ScalePoint> {
+    let mut cells = Vec::new();
+    for &k in &k_axis(ctx) {
+        for geometric in [true, false] {
+            for r in [1.0, 2.0] {
+                for &n_t in &nt_axis(ctx) {
+                    cells.push((k, geometric, r, n_t));
+                }
+            }
+        }
+    }
+    parallel_map(&cells, |&(k, geometric, r, n_t)| {
+        let pattern = if geometric {
+            AccessPattern::geometric(0.5)
+        } else {
+            AccessPattern::Uniform
+        };
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(k))
+            .with_pattern(pattern)
+            .with_runlength(r)
+            .with_n_threads(n_t);
+        ScalePoint {
+            k,
+            geometric,
+            r,
+            n_t,
+            tol: tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable"),
+        }
+    })
+}
+
+/// Generate the figure.
+pub fn run(ctx: &Ctx) -> String {
+    let pts = sweep(ctx);
+    let mut csv = Table::new(vec![
+        "k",
+        "P",
+        "distribution",
+        "R",
+        "n_t",
+        "tol_network",
+        "u_p",
+    ]);
+    for p in &pts {
+        csv.row(vec![
+            p.k.to_string(),
+            (p.k * p.k).to_string(),
+            if p.geometric { "geometric" } else { "uniform" }.to_string(),
+            fnum(p.r, 0),
+            p.n_t.to_string(),
+            fnum(p.tol.index, 4),
+            fnum(p.tol.u_p, 4),
+        ]);
+    }
+    let csv_note = ctx.save_csv("fig9", &csv);
+
+    let mut out = String::from(
+        "Scaling: tol_network vs n_t, k = 2..10, geometric vs uniform (paper Figure 9).\n\n",
+    );
+    for r in [1.0, 2.0] {
+        let nts = nt_axis(ctx);
+        let xs: Vec<f64> = nts.iter().map(|&n| n as f64).collect();
+        let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+        for &k in &k_axis(ctx) {
+            for geo in [true, false] {
+                let ys: Vec<f64> = nts
+                    .iter()
+                    .map(|&n| {
+                        pts.iter()
+                            .find(|p| p.k == k && p.geometric == geo && p.r == r && p.n_t == n)
+                            .map(|p| p.tol.index)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                series.push((format!("k={k} {}", if geo { "geo" } else { "uni" }), ys));
+            }
+        }
+        let refs: Vec<(&str, &[f64])> = series
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_slice()))
+            .collect();
+        out.push_str(&ascii_chart(
+            &format!("tol_network vs n_t at R = {r}"),
+            &xs,
+            &refs,
+            60,
+            14,
+        ));
+        let xy: Vec<(String, Vec<(f64, f64)>)> = series
+            .iter()
+            .map(|(n, ys)| {
+                (
+                    n.clone(),
+                    xs.iter().copied().zip(ys.iter().copied()).collect(),
+                )
+            })
+            .collect();
+        let note = ctx.save_svg(
+            &format!("fig9_r{}", r as u32),
+            &SvgChart::new(
+                format!("tol_network vs n_t at R = {r} (k = 2..10, geo vs uni)"),
+                "n_t",
+                "tolerance index",
+            ),
+            &xy,
+        );
+        out.push_str(&format!("{note}\n\n"));
+    }
+    out.push_str(&format!("{csv_note}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(pts: &[ScalePoint], k: usize, geo: bool, r: f64, n_t: usize) -> &ScalePoint {
+        pts.iter()
+            .find(|p| p.k == k && p.geometric == geo && p.r == r && p.n_t == n_t)
+            .expect("point exists")
+    }
+
+    #[test]
+    fn geometric_beats_uniform_at_scale() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        // At k = 6 the gap is already large; at k = 2 they coincide
+        // (every remote node is "nearby").
+        let large_geo = at(&pts, 6, true, 1.0, 8).tol.index;
+        let large_uni = at(&pts, 6, false, 1.0, 8).tol.index;
+        assert!(
+            large_geo > large_uni + 0.15,
+            "geo {large_geo} vs uni {large_uni}"
+        );
+        let small_geo = at(&pts, 2, true, 1.0, 8).tol.index;
+        let small_uni = at(&pts, 2, false, 1.0, 8).tol.index;
+        assert!((small_geo - small_uni).abs() < 0.05, "coincide at k = 2");
+    }
+
+    #[test]
+    fn geometric_tolerance_is_size_stable() {
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let t4 = at(&pts, 4, true, 1.0, 8).tol.index;
+        let t6 = at(&pts, 6, true, 1.0, 8).tol.index;
+        assert!((t4 - t6).abs() < 0.05, "k=4 {t4} vs k=6 {t6}");
+    }
+
+    #[test]
+    fn higher_runlength_rescues_even_uniform() {
+        // Paper observation 4: R = 2 improves tolerance significantly even
+        // for the uniform distribution.
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        let r1 = at(&pts, 6, false, 1.0, 8).tol.index;
+        let r2 = at(&pts, 6, false, 2.0, 8).tol.index;
+        assert!(r2 > r1 + 0.05, "R2 {r2} vs R1 {r1}");
+    }
+
+    #[test]
+    fn plateau_thread_count_is_size_independent() {
+        // tol(n_t = 8) close to tol(n_t = 4) for all k (gains mostly done).
+        let ctx = Ctx::quick_temp();
+        let pts = sweep(&ctx);
+        for &k in &k_axis(&ctx) {
+            let t4 = at(&pts, k, true, 1.0, 4).tol.index;
+            let t8 = at(&pts, k, true, 1.0, 8).tol.index;
+            assert!(t8 - t4 < 0.15, "k={k}: jump {t4} -> {t8}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("tol_network vs n_t at R = 1"));
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper figure.
+
+pub(crate) mod common;
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

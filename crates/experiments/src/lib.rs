@@ -1,0 +1,212 @@
+//! # lt-experiments — regeneration of the paper's evaluation
+//!
+//! One generator per table and figure of the paper, plus the closed-form
+//! checks (Equations 4 and 5), solver/distribution ablations, and the
+//! Section 7 extensions. Each generator returns the rendered text report
+//! and writes machine-readable CSVs next to it.
+//!
+//! Run via the `repro` binary:
+//!
+//! ```text
+//! repro list                # what exists
+//! repro all --quick        # fast pass over everything
+//! repro fig4               # one artifact, full resolution
+//! ```
+//!
+//! The `quick` flag shrinks sweep grids and simulation horizons so the
+//! whole evaluation runs in seconds (used by the benches and CI); full
+//! resolution matches the grids documented in DESIGN.md.
+
+pub mod ctx;
+pub mod output;
+pub mod svg;
+
+pub mod ablations;
+pub mod extras;
+pub mod figures;
+pub mod tables;
+
+pub use ctx::Ctx;
+
+/// A runnable experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Short id, also the `repro` subcommand (e.g. `"fig4"`).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Generator: renders the report and writes CSVs via the context.
+    pub run: fn(&Ctx) -> String,
+}
+
+/// Every experiment, in the order of the paper's evaluation.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            title: "Default model parameters and derived constants (paper Table 1)",
+            run: tables::table1::run,
+        },
+        Experiment {
+            id: "fig4",
+            title: "U_p, S_obs, lambda_net, tol_network vs (n_t, p_remote) at R=1 (paper Fig. 4)",
+            run: figures::fig4::run,
+        },
+        Experiment {
+            id: "fig5",
+            title: "U_p, S_obs, lambda_net, tol_network vs (n_t, p_remote) at R=2 (paper Fig. 5)",
+            run: figures::fig5::run,
+        },
+        Experiment {
+            id: "table2",
+            title: "Equal S_obs, different tolerance: workload determines the zone (paper Table 2)",
+            run: tables::table2::run,
+        },
+        Experiment {
+            id: "fig6",
+            title: "tol_network vs (n_t, R) at p_remote in {0.2, 0.4} (paper Fig. 6)",
+            run: figures::fig6::run,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Thread partitioning: tol_network along n_t*R = const (paper Fig. 7)",
+            run: figures::fig7::run,
+        },
+        Experiment {
+            id: "table3",
+            title: "Thread partitioning vs network latency tolerance (paper Table 3)",
+            run: tables::table3::run,
+        },
+        Experiment {
+            id: "fig8",
+            title: "tol_memory vs (n_t, R) at L in {1, 2} (paper Fig. 8)",
+            run: figures::fig8::run,
+        },
+        Experiment {
+            id: "table4",
+            title: "Thread partitioning vs memory latency tolerance (paper Table 4)",
+            run: tables::table4::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Scaling: tol_network vs n_t for k=2..10, geometric vs uniform (paper Fig. 9)",
+            run: figures::fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Scaling: throughput and latencies vs P (paper Fig. 10)",
+            run: figures::fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Validation: analytical model vs STPN simulation (paper Fig. 11 / Section 8)",
+            run: figures::fig11::run,
+        },
+        Experiment {
+            id: "eq4",
+            title: "Network saturation law lambda_net,sat = 1/(2 d_avg S) (paper Eq. 4)",
+            run: extras::eq4::run,
+        },
+        Experiment {
+            id: "eq5",
+            title: "Critical p_remote knee (paper Eq. 5)",
+            run: extras::eq5::run,
+        },
+        Experiment {
+            id: "ablation-solver",
+            title: "Solver ablation: exact MVA vs Bard-Schweitzer vs Linearizer",
+            run: ablations::solver::run,
+        },
+        Experiment {
+            id: "ablation-dist",
+            title: "Geometric distribution variants: per-distance-class vs per-module",
+            run: ablations::distribution::run,
+        },
+        Experiment {
+            id: "ablation-symmetry",
+            title: "Symmetric AMVA fast path vs general AMVA: agreement and speed",
+            run: ablations::symmetry::run,
+        },
+        Experiment {
+            id: "ext-priority",
+            title: "Extension: EM-4-style local-priority memory (Section 7 discussion)",
+            run: extras::priority::run,
+        },
+        Experiment {
+            id: "ext-ports",
+            title: "Extension: multi-ported memory, model (Seidmann) vs exact simulation",
+            run: extras::ports::run,
+        },
+        Experiment {
+            id: "ext-buffers",
+            title: "Extension: finite switch buffers (paper footnote 3)",
+            run: extras::buffers::run,
+        },
+        Experiment {
+            id: "ext-hotspot",
+            title: "Extension: hot-spot traffic and the asymmetric solver path",
+            run: extras::hotspot::run,
+        },
+        Experiment {
+            id: "ext-cache",
+            title: "Extension: cache-derived workloads (footnote 4: R = 1/miss-rate)",
+            run: extras::cache::run,
+        },
+        Experiment {
+            id: "ext-outstanding",
+            title: "Extension: limited concurrent memory operations (hardware parallelism)",
+            run: extras::outstanding::run,
+        },
+        Experiment {
+            id: "ext-topology",
+            title: "Extension: interconnect shape (square/rectangular torus, ring) at equal P",
+            run: extras::topology::run,
+        },
+        Experiment {
+            id: "zones",
+            title: "Tolerance-zone design map over (R, p_remote) with boundary curves",
+            run: extras::zones::run,
+        },
+        Experiment {
+            id: "ext-nonmono",
+            title: "Extension: searching for tol > 1 with exact MVA (Section 7 footnote 2)",
+            run: extras::nonmono::run,
+        },
+    ]
+}
+
+/// Find an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<_> = registry().iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn find_known_and_unknown() {
+        assert!(find("fig4").is_some());
+        assert!(find("fig999").is_none());
+    }
+
+    #[test]
+    fn registry_covers_all_paper_artifacts() {
+        let ids: Vec<_> = registry().iter().map(|e| e.id).collect();
+        for required in [
+            "table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "eq4", "eq5",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+}

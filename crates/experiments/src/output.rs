@@ -1,0 +1,266 @@
+//! Rendering helpers: aligned text tables, CSV files, and ASCII charts.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with right-aligned numeric-looking cells.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.headers.iter().enumerate() {
+            width[c] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let pad = width[c] - cell.chars().count();
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+                out.push_str(cell);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `prec` decimals (NaN/inf rendered as text).
+pub fn fnum(x: f64, prec: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 { "inf" } else { "-inf" }.to_string()
+    } else {
+        format!("{x:.prec$}")
+    }
+}
+
+/// An ASCII line chart of one or more series over a shared x-axis.
+///
+/// Intentionally minimal: enough to see the *shape* of a figure in a
+/// terminal; the CSV alongside carries the exact data.
+pub fn ascii_chart(
+    title: &str,
+    xs: &[f64],
+    series: &[(&str, &[f64])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if xs.is_empty() || series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, ys) in series {
+        for &y in ys.iter().filter(|y| y.is_finite()) {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !y_min.is_finite() {
+        out.push_str("(no finite data)\n");
+        return out;
+    }
+    if y_max - y_min < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let x_min = xs.first().copied().unwrap();
+    let x_max = xs.last().copied().unwrap();
+    let x_span = (x_max - x_min).max(1e-12);
+
+    let marks = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            if !y.is_finite() {
+                continue;
+            }
+            let cx = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:9.3} |")
+        } else if r == height - 1 {
+            format!("{y_min:9.3} |")
+        } else {
+            format!("{:9} |", "")
+        };
+        let _ = writeln!(out, "{label}{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:9}  {}", "", "-".repeat(width));
+    let lo = format!("{x_min:.2}");
+    let hi = format!("{x_max:.2}");
+    let w = width.saturating_sub(hi.len());
+    let _ = writeln!(out, "{:9}  {lo:<w$}{hi}", "");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:11}{} = {}", "", marks[si % marks.len()], name);
+    }
+    out
+}
+
+/// Write `content` to `dir/name`, creating the directory if needed.
+pub fn write_file(dir: &Path, name: &str, content: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_separator() {
+        let mut t = Table::new(vec!["a", "metric"]);
+        t.row(vec!["1", "2.50"]);
+        t.row(vec!["100", "3.14159"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // All lines equally wide.
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert!(lines[3].contains("3.14159"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["x", "note"]);
+        t.row(vec!["1".to_string(), "has,comma".to_string()]);
+        t.row(vec!["2".to_string(), "has \"quote\"".to_string()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn fnum_handles_non_finite() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(f64::NAN, 2), "-");
+        assert_eq!(fnum(f64::INFINITY, 2), "inf");
+    }
+
+    #[test]
+    fn chart_renders_monotone_series() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let s = ascii_chart("parabola", &xs, &[("y", &ys)], 40, 10);
+        assert!(s.contains("parabola"));
+        assert!(s.contains('*'));
+        assert!(s.contains("81.000"));
+    }
+
+    #[test]
+    fn chart_tolerates_empty_and_flat() {
+        let s = ascii_chart("empty", &[], &[], 20, 5);
+        assert!(s.contains("no data"));
+        let xs = [0.0, 1.0];
+        let ys = [2.0, 2.0];
+        let s = ascii_chart("flat", &xs, &[("c", &ys[..])], 20, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn write_file_creates_directories() {
+        let dir = std::env::temp_dir().join("lt-output-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = write_file(&dir.join("nested"), "t.csv", "a,b\n").unwrap();
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "a,b\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal SVG line charts — no dependencies, just enough to turn each
+//! regenerated figure into a standalone `.svg` beside its CSV.
+//!
+//! Deliberately small: x/y axes with ticks, one polyline per series with a
+//! color cycle and a legend, optional log-free linear scales only. The CSV
+//! remains the ground truth; the SVG is for eyeballs.
+
+use std::fmt::Write as _;
+
+/// Chart-wide options.
+#[derive(Debug, Clone)]
+pub struct SvgChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl SvgChart {
+    /// A chart with the default 720×480 canvas.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        SvgChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 720,
+            height: 480,
+        }
+    }
+
+    /// Render series (`(name, points)`) to an SVG document. Non-finite
+    /// points break the polyline. Returns `None` when there is nothing
+    /// finite to draw.
+    pub fn render(&self, series: &[(String, Vec<(f64, f64)>)]) -> Option<String> {
+        const COLORS: [&str; 8] = [
+            "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+        ];
+        let margin_l = 64.0;
+        let margin_r = 160.0; // legend space
+        let margin_t = 40.0;
+        let margin_b = 48.0;
+        let plot_w = self.width as f64 - margin_l - margin_r;
+        let plot_h = self.height as f64 - margin_t - margin_b;
+
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for (_, pts) in series {
+            for &(x, y) in pts {
+                if x.is_finite() && y.is_finite() {
+                    x_min = x_min.min(x);
+                    x_max = x_max.max(x);
+                    y_min = y_min.min(y);
+                    y_max = y_max.max(y);
+                }
+            }
+        }
+        if !x_min.is_finite() || !y_min.is_finite() {
+            return None;
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        // A little headroom on y.
+        let pad = 0.05 * (y_max - y_min);
+        let (y_min, y_max) = (y_min - pad, y_max + pad);
+
+        let sx = move |x: f64| margin_l + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = move |y: f64| margin_t + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{w}" height="{h}" fill="white"/>"#,
+            w = self.width,
+            h = self.height
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="22" text-anchor="middle" font-size="15">{t}</text>"#,
+            x = margin_l + plot_w / 2.0,
+            t = escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="{y}" text-anchor="middle">{t}</text>"#,
+            x = margin_l + plot_w / 2.0,
+            y = self.height as f64 - 10.0,
+            t = escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{y}" text-anchor="middle" transform="rotate(-90 16 {y})">{t}</text>"#,
+            y = margin_t + plot_h / 2.0,
+            t = escape(&self.y_label)
+        );
+        // Plot frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="none" stroke="#444"/>"##,
+            x = margin_l,
+            y = margin_t,
+            w = plot_w,
+            h = plot_h
+        );
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
+            let px = sx(fx);
+            let _ = write!(
+                svg,
+                r##"<line x1="{px}" y1="{y1}" x2="{px}" y2="{y2}" stroke="#bbb" stroke-dasharray="3,3"/>"##,
+                y1 = margin_t,
+                y2 = margin_t + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{px}" y="{ty}" text-anchor="middle">{v}</text>"#,
+                ty = margin_t + plot_h + 16.0,
+                v = tick(fx)
+            );
+            let fy = y_min + (y_max - y_min) * i as f64 / 4.0;
+            let py = sy(fy);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x1}" y1="{py}" x2="{x2}" y2="{py}" stroke="#bbb" stroke-dasharray="3,3"/>"##,
+                x1 = margin_l,
+                x2 = margin_l + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{tx}" y="{ty}" text-anchor="end">{v}</text>"#,
+                tx = margin_l - 6.0,
+                ty = py + 4.0,
+                v = tick(fy)
+            );
+        }
+        // Series.
+        for (si, (name, pts)) in series.iter().enumerate() {
+            let color = COLORS[si % COLORS.len()];
+            let mut path = String::new();
+            let mut pen_down = false;
+            for &(x, y) in pts {
+                if !x.is_finite() || !y.is_finite() {
+                    pen_down = false;
+                    continue;
+                }
+                let cmd = if pen_down { 'L' } else { 'M' };
+                let _ = write!(path, "{cmd}{:.2},{:.2} ", sx(x), sy(y));
+                pen_down = true;
+            }
+            if !path.is_empty() {
+                let _ = write!(
+                    svg,
+                    r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+                );
+            }
+            // Point markers.
+            for &(x, y) in pts.iter().filter(|(x, y)| x.is_finite() && y.is_finite()) {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="2.5" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = margin_t + 14.0 + 18.0 * si as f64;
+            let lx = margin_l + plot_w + 12.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                x2 = lx + 18.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{tx}" y="{ty}">{n}</text>"#,
+                tx = lx + 24.0,
+                ty = ly + 4.0,
+                n = escape(name)
+            );
+        }
+        svg.push_str("</svg>");
+        Some(svg)
+    }
+}
+
+fn tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<(String, Vec<(f64, f64)>)> {
+        vec![
+            (
+                "linear".into(),
+                (0..10).map(|i| (i as f64, i as f64)).collect(),
+            ),
+            (
+                "quadratic".into(),
+                (0..10).map(|i| (i as f64, (i * i) as f64 / 10.0)).collect(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let chart = SvgChart::new("demo", "x", "y");
+        let svg = chart.render(&demo_series()).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2, "one polyline per series");
+        assert!(svg.contains("linear"));
+        assert!(svg.contains("quadratic"));
+        // Every circle marker for 2 series x 10 points.
+        assert_eq!(svg.matches("<circle").count(), 20);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let chart = SvgChart::new("a<b & c", "x", "y");
+        let svg = chart.render(&demo_series()).unwrap();
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn nan_breaks_the_line_without_panicking() {
+        let series = vec![(
+            "gappy".to_string(),
+            vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 3.0)],
+        )];
+        let chart = SvgChart::new("gaps", "x", "y");
+        let svg = chart.render(&series).unwrap();
+        // Two M commands: pen lifts at the NaN.
+        let path_start = svg.find("<path").unwrap();
+        let path = &svg[path_start..svg[path_start..].find("/>").unwrap() + path_start];
+        assert_eq!(path.matches('M').count(), 2, "{path}");
+    }
+
+    #[test]
+    fn all_nan_yields_none() {
+        let series = vec![("empty".to_string(), vec![(f64::NAN, f64::NAN)])];
+        assert!(SvgChart::new("t", "x", "y").render(&series).is_none());
+        assert!(SvgChart::new("t", "x", "y").render(&[]).is_none());
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let series = vec![("flat".to_string(), vec![(0.0, 2.0), (1.0, 2.0)])];
+        let svg = SvgChart::new("flat", "x", "y").render(&series).unwrap();
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,6 @@
+//! One module per paper table.
+
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,85 @@
+//! Paper Table 1: default settings for the model parameters, plus the
+//! derived constants the paper quotes in the text (`d_avg = 1.733`,
+//! `λ_net,sat ≈ 0.29`, the Equation 5 knees).
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::bottleneck;
+use lt_core::prelude::*;
+
+/// Generate the table.
+pub fn run(ctx: &Ctx) -> String {
+    let cfg = SystemConfig::paper_default();
+    let mut t = Table::new(vec!["parameter", "symbol", "default"]);
+    t.row(vec![
+        "threads per processor",
+        "n_t",
+        &cfg.workload.n_threads.to_string(),
+    ]);
+    t.row(vec![
+        "thread runlength",
+        "R",
+        "1 (Figs. 4/6/9/10), 2 (Fig. 5)",
+    ]);
+    t.row(vec![
+        "context switch",
+        "C",
+        &fnum(cfg.workload.context_switch, 1),
+    ]);
+    t.row(vec![
+        "remote fraction",
+        "p_remote",
+        "0.2 (0.4 in Figs. 6/7)",
+    ]);
+    t.row(vec!["locality", "p_sw", "0.5 (geometric)"]);
+    t.row(vec!["memory access time", "L", "1 (2 in Fig. 8/Table 4)"]);
+    t.row(vec!["switch delay", "S", "1 (2 in Section 8)"]);
+    t.row(vec!["torus dimension", "k", "4 (2..10 in Section 7)"]);
+    t.row(vec!["processors", "P", &cfg.nodes().to_string()]);
+
+    let bn = bottleneck::analyze(&cfg).expect("analyzable");
+    let mut derived = Table::new(vec!["derived constant", "value", "paper"]);
+    derived.row(vec![
+        "d_avg (geometric, p_sw = 0.5, 4x4)".to_string(),
+        fnum(bn.d_avg, 4),
+        "1.733".to_string(),
+    ]);
+    derived.row(vec![
+        "lambda_net,sat = 1/(2 d_avg S)".to_string(),
+        fnum(bn.lambda_net_saturation.unwrap_or(f64::NAN), 4),
+        "0.29".to_string(),
+    ]);
+    let knee1 = bottleneck::critical_p_remote(1.0, 1.0, 1.0, bn.d_avg);
+    let knee2 = bottleneck::critical_p_remote(2.0, 1.0, 1.0, bn.d_avg);
+    derived.row(vec![
+        "critical p_remote at R = 1 (Eq. 5)".to_string(),
+        knee1.map_or("-".into(), |p| fnum(p, 3)),
+        "~0 (memory-bound at R = L)".to_string(),
+    ]);
+    derived.row(vec![
+        "critical p_remote at R = 2 (Eq. 5)".to_string(),
+        knee2.map_or("-".into(), |p| fnum(p, 3)),
+        "~0.6".to_string(),
+    ]);
+
+    let csv_note = ctx.save_csv("table1", &t);
+    format!(
+        "Default model parameters (paper Table 1; OCR-recovered values \
+         documented in DESIGN.md).\n\n{}\n{}\n{csv_note}\n",
+        t.render(),
+        derived.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_constants() {
+        let ctx = Ctx::quick_temp();
+        let text = run(&ctx);
+        assert!(text.contains("1.733"));
+        assert!(text.contains("0.2885") || text.contains("0.288"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Paper Table 3: the effect of the thread-partitioning strategy on
+//! network-latency tolerance — full measure columns for the constant-work
+//! curves of Figure 7.
+
+use crate::ctx::Ctx;
+use crate::figures::fig7::partition_sweep;
+use crate::output::{fnum, Table};
+
+/// Generate the table.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out = String::from(
+        "Thread partitioning vs network latency tolerance (paper Table 3).\n\
+         Rows hold n_t * R constant (exposed computation) and trade thread \
+         count against granularity.\n\n",
+    );
+    for p_remote in [0.2, 0.4] {
+        let pts = partition_sweep(p_remote);
+        let mut t = Table::new(vec![
+            "p_remote",
+            "n_t",
+            "R",
+            "n_t*R",
+            "L_obs",
+            "S_obs",
+            "lambda_net",
+            "U_p",
+            "tol_network",
+        ]);
+        for pt in pts.iter().filter(|p| [4usize, 8].contains(&p.product)) {
+            t.row(vec![
+                fnum(pt.p_remote, 2),
+                pt.n_t.to_string(),
+                pt.r.to_string(),
+                pt.product.to_string(),
+                fnum(pt.rep.l_obs, 3),
+                fnum(pt.rep.s_obs, 3),
+                fnum(pt.rep.lambda_net, 4),
+                fnum(pt.rep.u_p, 4),
+                fnum(pt.tol.index, 4),
+            ]);
+        }
+        let csv_note = ctx.save_csv(&format!("table3_p{}", (p_remote * 100.0) as u32), &t);
+        out.push_str(&t.render());
+        out.push_str(&format!("{csv_note}\n\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig7::partition_sweep;
+
+    #[test]
+    fn low_p_remote_tolerates_better_at_fixed_partitioning() {
+        // Paper Table 3 point 1: lower p_remote -> higher tol_network.
+        let lo = partition_sweep(0.2);
+        let hi = partition_sweep(0.4);
+        let pick = |pts: &[crate::figures::fig7::PartitionPoint]| {
+            pts.iter()
+                .find(|p| p.product == 4 && p.n_t == 2)
+                .unwrap()
+                .tol
+                .index
+        };
+        assert!(pick(&lo) > pick(&hi));
+    }
+
+    #[test]
+    fn tolerance_roughly_constant_along_curve_at_low_p() {
+        // Paper Table 3 point 2: at p_remote = 0.2, tol_network is fairly
+        // constant along n_t * R = 4 (for n_t > 1).
+        let pts = partition_sweep(0.2);
+        let vals: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.product == 4 && p.n_t > 1)
+            .map(|p| p.tol.index)
+            .collect();
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min < 0.12, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("tol_network"));
+    }
+}

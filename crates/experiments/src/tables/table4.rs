@@ -1,0 +1,127 @@
+//! Paper Table 4: the effect of the thread-partitioning strategy on
+//! *memory*-latency tolerance, for `L ∈ {1, 2}` at `p_remote = 0.2`.
+
+use crate::ctx::Ctx;
+use crate::output::{fnum, Table};
+use lt_core::prelude::*;
+use lt_core::sweep::parallel_map;
+
+/// One row of the table.
+pub struct Table4Row {
+    /// Memory latency.
+    pub l: f64,
+    /// Threads.
+    pub n_t: usize,
+    /// Runlength.
+    pub r: usize,
+    /// Solved measures.
+    pub rep: PerformanceReport,
+    /// Memory tolerance.
+    pub tol_memory: ToleranceReport,
+}
+
+/// Solve the constant-work rows for both memory latencies.
+pub fn sweep() -> Vec<Table4Row> {
+    let mut cells = Vec::new();
+    for &l in &[1.0, 2.0] {
+        for &product in &[4usize, 8] {
+            for (n_t, r) in crate::figures::common::divisor_pairs(product) {
+                cells.push((l, n_t, r));
+            }
+        }
+    }
+    parallel_map(&cells, |&(l, n_t, r)| {
+        let cfg = SystemConfig::paper_default()
+            .with_memory_latency(l)
+            .with_n_threads(n_t)
+            .with_runlength(r as f64);
+        Table4Row {
+            l,
+            n_t,
+            r,
+            rep: solve(&cfg).expect("solvable"),
+            tol_memory: tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).expect("solvable"),
+        }
+    })
+}
+
+/// Generate the table.
+pub fn run(ctx: &Ctx) -> String {
+    let rows = sweep();
+    let mut t = Table::new(vec![
+        "L",
+        "n_t",
+        "R",
+        "n_t*R",
+        "L_obs",
+        "S_obs",
+        "U_p",
+        "tol_memory",
+        "zone",
+    ]);
+    for row in &rows {
+        t.row(vec![
+            fnum(row.l, 0),
+            row.n_t.to_string(),
+            row.r.to_string(),
+            (row.n_t * row.r).to_string(),
+            fnum(row.rep.l_obs, 3),
+            fnum(row.rep.s_obs, 3),
+            fnum(row.rep.u_p, 4),
+            fnum(row.tol_memory.index, 4),
+            row.tol_memory.zone.label().to_string(),
+        ]);
+    }
+    let csv_note = ctx.save_csv("table4", &t);
+    format!(
+        "Thread partitioning vs memory latency tolerance, p_remote = 0.2 \
+         (paper Table 4).\n\n{}\n{csv_note}\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(rows: &[Table4Row], l: f64, n_t: usize, r: usize) -> &Table4Row {
+        rows.iter()
+            .find(|row| row.l == l && row.n_t == n_t && row.r == r)
+            .unwrap()
+    }
+
+    #[test]
+    fn doubling_l_raises_l_obs_superlinearly() {
+        // Paper: L 1 -> 2 raises L_obs by over 2.5x at the contended
+        // partitionings (queueing amplifies the service-time increase).
+        let rows = sweep();
+        let a = at(&rows, 1.0, 8, 1).rep.l_obs;
+        let b = at(&rows, 2.0, 8, 1).rep.l_obs;
+        assert!(b > 2.3 * a, "L_obs {a} -> {b}");
+    }
+
+    #[test]
+    fn long_runlengths_tolerate_memory() {
+        // R >> L keeps the processor busy; tol_memory high, and the
+        // low-thread/high-R partitioning also reduces contention.
+        let rows = sweep();
+        assert!(at(&rows, 1.0, 2, 4).tol_memory.index > 0.85);
+        assert!(at(&rows, 1.0, 2, 4).tol_memory.index > at(&rows, 1.0, 8, 1).tol_memory.index);
+    }
+
+    #[test]
+    fn more_threads_raise_local_contention_at_low_p_remote() {
+        // Paper Table 4 point 2: n_t has a strong effect on L_obs at low
+        // p_remote because most accesses are local.
+        let rows = sweep();
+        let few = at(&rows, 1.0, 2, 2).rep.l_obs;
+        let many = at(&rows, 1.0, 8, 1).rep.l_obs;
+        assert!(many > 1.5 * few, "L_obs {few} -> {many}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctx = Ctx::quick_temp();
+        assert!(run(&ctx).contains("tol_memory"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # lt-qnsim — direct discrete-event simulation of the MMS
+//!
+//! A second, independent implementation of the machine the analytical model
+//! describes: threads, switches, and memories are simulated directly as
+//! FCFS stations on the `lt-desim` kernel, with no Petri-net formalism in
+//! between. Agreement between `lt-core` (analysis), `lt-stpn` (Petri-net
+//! simulation), and this crate is the workspace's strongest correctness
+//! evidence — three code paths, one machine.
+//!
+//! Beyond the paper's baseline assumptions, this simulator hosts the
+//! machine variants that the closed queueing network cannot express but
+//! the paper's Section 7 discusses as remedies and caveats:
+//!
+//! * **local-priority memory** ([`MmsOptions::local_priority_memory`]) —
+//!   EM-4-style: a memory module serves requests from its own processor
+//!   before remote ones;
+//! * **multi-ported memory** (`memory_ports` in the architecture
+//!   parameters) — exact multi-server semantics (the analytical model uses
+//!   the Seidmann approximation);
+//! * **finite switch buffers** ([`MmsOptions::switch_buffer`]) — the
+//!   paper's footnote 3 declines to study limited buffering; here inbound
+//!   queues have a capacity and upstream switches stall (head-of-line
+//!   blocking with backpressure) when the next hop is full;
+//! * **trace-driven workloads** ([`trace`]) — replay concrete per-thread
+//!   access sequences (e.g. a literal do-all loop) instead of the
+//!   stochastic workload abstraction.
+
+pub mod mms;
+pub mod trace;
+
+pub use mms::{simulate, simulate_trace, MmsOptions, MmsSimResult};
+pub use trace::{ThreadTrace, TraceEntry, TraceWorkload};

@@ -1,0 +1,1005 @@
+//! The direct machine simulator.
+//!
+//! Four station banks (`proc`, `out`, `in`, `mem`, one station per node)
+//! exchange `Job`s — a job is a thread while at its processor and a message
+//! while in flight. Service completions are the only events; routing
+//! decisions happen at completion time, mirroring `lt-stpn::mms` but with
+//! no net formalism and an independently written engine.
+
+use crate::trace::TraceWorkload;
+use lt_core::params::SystemConfig;
+use lt_core::topology::Topology;
+use lt_desim::{
+    BatchMeans, DistFamily, Estimate, EventQueue, P2Quantile, ServiceDist, SimRng, Tally, Time,
+    TimeWeighted,
+};
+use std::collections::VecDeque;
+
+/// Simulation controls and machine variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmsOptions {
+    /// Measured horizon after warm-up.
+    pub horizon: f64,
+    /// Warm-up period discarded before measuring.
+    pub warmup: f64,
+    /// Batch-means batches.
+    pub batches: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Thread runlength distribution family.
+    pub runlength_dist: DistFamily,
+    /// Memory service distribution family.
+    pub memory_dist: DistFamily,
+    /// Switch delay distribution family.
+    pub switch_dist: DistFamily,
+    /// EM-4-style priority: memory modules serve their own processor's
+    /// accesses before remote ones (non-preemptive).
+    pub local_priority_memory: bool,
+    /// Capacity of each inbound-switch queue (waiting messages); `None`
+    /// means unbounded (the paper's assumption). With a bound, upstream
+    /// switches stall until space frees (head-of-line blocking).
+    pub switch_buffer: Option<usize>,
+    /// Maximum concurrent outstanding memory accesses per processor —
+    /// the paper's "number of concurrent memory operations" hardware
+    /// parallelism knob. `None` = unbounded (every thread may have one
+    /// outstanding access, the paper's assumption). With a bound, a thread
+    /// whose access would exceed it stalls at issue until a response
+    /// returns.
+    pub max_outstanding: Option<usize>,
+}
+
+impl Default for MmsOptions {
+    fn default() -> Self {
+        MmsOptions {
+            horizon: 100_000.0,
+            warmup: 10_000.0,
+            batches: 10,
+            seed: 0xACE5,
+            runlength_dist: DistFamily::Exponential,
+            memory_dist: DistFamily::Exponential,
+            switch_dist: DistFamily::Exponential,
+            local_priority_memory: false,
+            switch_buffer: None,
+            max_outstanding: None,
+        }
+    }
+}
+
+/// Measured output of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmsSimResult {
+    /// Processor utilization (useful work; context switching excluded).
+    pub u_p: Estimate,
+    /// Memory-access issue rate per processor.
+    pub lambda_proc: Estimate,
+    /// Remote-message rate per processor.
+    pub lambda_net: Estimate,
+    /// Observed one-way network latency per leg.
+    pub s_obs: Estimate,
+    /// Observed memory latency per access.
+    pub l_obs: Estimate,
+    /// Mean memory latency of *local* accesses only (interesting under
+    /// local-priority memory).
+    pub l_obs_local: Estimate,
+    /// 95th percentile of the per-leg network latency (P² estimate over
+    /// the whole measured horizon) — the tail the mean hides.
+    pub s_obs_p95: f64,
+    /// Network-leg samples.
+    pub s_obs_samples: u64,
+    /// Count of upstream stalls caused by full inbound buffers.
+    pub blocked_events: u64,
+    /// Count of thread issues delayed by the outstanding-access limit.
+    pub issue_stalls: u64,
+    /// Mean busy servers per memory module (equals the module utilization
+    /// for single-port memory; can exceed 1 with `memory_ports > 1`).
+    pub memory_util: Estimate,
+    /// Mean busy fraction of the inbound switches.
+    pub in_switch_util: Estimate,
+    /// Mean busy fraction of the outbound switches.
+    pub out_switch_util: Estimate,
+    /// True if the run wedged with jobs in flight and no pending events —
+    /// only possible with finite buffers (wraparound dependency cycles).
+    pub deadlocked: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Request,
+    Response,
+}
+
+/// Sentinel for "no planned remote destination" (trace mode).
+const LOCAL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    class: u32,
+    thread: u32,
+    dest: u32,
+    dir: Dir,
+    net_enter: Time,
+    mem_enter: Time,
+    /// Trace mode: runlength of the current/next processor activation.
+    svc: f64,
+    /// Trace mode: planned destination of the next access (LOCAL = local).
+    planned_dest: u32,
+}
+
+impl Job {
+    fn target(&self) -> usize {
+        match self.dir {
+            Dir::Request => self.dest as usize,
+            Dir::Response => self.class as usize,
+        }
+    }
+}
+
+const PROC: usize = 0;
+const OUT: usize = 1;
+const IN: usize = 2;
+const MEM: usize = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    bank: usize,
+    node: usize,
+    job: Job,
+}
+
+struct Station {
+    waiting: VecDeque<Job>,
+    /// Priority queue for the owning processor's accesses
+    /// (local-priority memory only).
+    waiting_local: VecDeque<Job>,
+    busy: usize,
+    servers: usize,
+    dist: ServiceDist,
+    /// A switch whose routed message found the next hop full holds it here;
+    /// the server stays occupied until space frees.
+    stalled: Option<Job>,
+}
+
+impl Station {
+    fn new(servers: usize, dist: ServiceDist) -> Self {
+        Station {
+            waiting: VecDeque::new(),
+            waiting_local: VecDeque::new(),
+            busy: 0,
+            servers,
+            dist,
+            stalled: None,
+        }
+    }
+
+    fn jobs_waiting(&self) -> usize {
+        self.waiting.len() + self.waiting_local.len()
+    }
+}
+
+struct MmsSim {
+    topo: Topology,
+    p: usize,
+    p_remote: f64,
+    remote_probs: Vec<Vec<f64>>,
+    local_priority: bool,
+    switch_buffer: Option<usize>,
+    max_outstanding: Option<usize>,
+    useful_fraction: f64,
+    context_switch: f64,
+    /// Outstanding memory accesses per processor, and threads whose issue
+    /// is deferred by the limit.
+    outstanding: Vec<usize>,
+    issue_wait: Vec<VecDeque<Job>>,
+
+    stations: Vec<Station>,
+    /// Stations stalled on inbound queue `j`, FIFO.
+    blocked_on: Vec<VecDeque<usize>>,
+    events: EventQueue<Completion>,
+    rng: SimRng,
+    /// Agenda of stations to (re)try starting service at.
+    agenda: Vec<usize>,
+
+    /// Trace replay state: the workload plus one cursor per thread.
+    trace: Option<(TraceWorkload, Vec<Vec<usize>>)>,
+
+    // statistics
+    busy_proc: TimeWeighted,
+    busy_mem: TimeWeighted,
+    busy_in: TimeWeighted,
+    busy_out: TimeWeighted,
+    proc_completions: u64,
+    remote_sent: u64,
+    s_obs: Tally,
+    s_obs_q: P2Quantile,
+    l_obs: Tally,
+    l_obs_local: Tally,
+    blocked_events: u64,
+    issue_stalls: u64,
+}
+
+impl MmsSim {
+    fn station_id(bank: usize, node: usize, p: usize) -> usize {
+        bank * p + node
+    }
+
+    fn new(cfg: &SystemConfig, opts: &MmsOptions) -> Self {
+        let topo = cfg.arch.topology;
+        let p = topo.nodes();
+        let proc_dist = opts
+            .runlength_dist
+            .with_mean(cfg.workload.processor_service());
+        let sw_dist = opts.switch_dist.with_mean(cfg.arch.switch_delay);
+        let mem_dist = opts.memory_dist.with_mean(cfg.arch.memory_latency);
+
+        let mut stations = Vec::with_capacity(4 * p);
+        for _ in 0..p {
+            stations.push(Station::new(1, proc_dist));
+        }
+        for _ in 0..p {
+            stations.push(Station::new(1, sw_dist));
+        }
+        for _ in 0..p {
+            stations.push(Station::new(1, sw_dist));
+        }
+        for _ in 0..p {
+            stations.push(Station::new(cfg.arch.memory_ports, mem_dist));
+        }
+
+        let remote_probs = (0..p)
+            .map(|i| cfg.workload.pattern.remote_probs(&topo, i))
+            .collect();
+
+        MmsSim {
+            topo,
+            p,
+            p_remote: cfg.workload.p_remote,
+            remote_probs,
+            local_priority: opts.local_priority_memory,
+            switch_buffer: opts.switch_buffer,
+            max_outstanding: opts.max_outstanding,
+            useful_fraction: cfg.workload.runlength / cfg.workload.processor_service(),
+            context_switch: cfg.workload.context_switch,
+            outstanding: vec![0; p],
+            issue_wait: (0..p).map(|_| VecDeque::new()).collect(),
+            stations,
+            blocked_on: (0..p).map(|_| VecDeque::new()).collect(),
+            events: EventQueue::new(),
+            rng: SimRng::new(opts.seed),
+            agenda: Vec::new(),
+            trace: None,
+            busy_proc: TimeWeighted::new(0.0, 0.0),
+            busy_mem: TimeWeighted::new(0.0, 0.0),
+            busy_in: TimeWeighted::new(0.0, 0.0),
+            busy_out: TimeWeighted::new(0.0, 0.0),
+            proc_completions: 0,
+            remote_sent: 0,
+            s_obs: Tally::new(),
+            s_obs_q: P2Quantile::new(0.95),
+            l_obs: Tally::new(),
+            l_obs_local: Tally::new(),
+            blocked_events: 0,
+            issue_stalls: 0,
+        }
+    }
+
+    /// Send an access on its way (network or local memory).
+    fn issue(&mut self, node: usize, remote_dest: Option<usize>, mut job: Job, now: Time) {
+        if let Some(dest) = remote_dest {
+            job.dest = dest as u32;
+            job.dir = Dir::Request;
+            job.net_enter = now;
+            self.remote_sent += 1;
+            self.enqueue(OUT, node, job);
+        } else {
+            job.dest = node as u32;
+            job.mem_enter = now;
+            self.enqueue(MEM, node, job);
+        }
+    }
+
+    /// A response arrived at `node`: free an outstanding slot and, if an
+    /// access is waiting at the issue stage, send it now.
+    fn response_returned(&mut self, node: usize, now: Time) {
+        if self.max_outstanding.is_none() {
+            return;
+        }
+        if let Some(job) = self.issue_wait[node].pop_front() {
+            // Slot handed directly to the waiting access.
+            let dest = (job.planned_dest != LOCAL).then_some(job.planned_dest as usize);
+            self.issue(node, dest, job, now);
+        } else {
+            self.outstanding[node] -= 1;
+        }
+    }
+
+    /// Trace mode: load the thread's next `(runlength, dest)` step into the
+    /// job before it re-enters its processor's ready pool. No-op otherwise.
+    fn prepare_thread(&mut self, job: &mut Job) {
+        let Some((workload, cursors)) = &mut self.trace else {
+            return;
+        };
+        let node = job.class as usize;
+        let t = job.thread as usize;
+        let trace = &workload.threads[node][t];
+        let cursor = &mut cursors[node][t];
+        let entry = trace.entries[*cursor % trace.entries.len()];
+        *cursor += 1;
+        job.svc = entry.runlength;
+        job.planned_dest = entry.dest.map_or(LOCAL, |d| d as u32);
+    }
+
+    fn enqueue(&mut self, bank: usize, node: usize, job: Job) {
+        let id = Self::station_id(bank, node, self.p);
+        let is_local_access = bank == MEM && job.class as usize == node;
+        if bank == MEM && self.local_priority && is_local_access {
+            self.stations[id].waiting_local.push_back(job);
+        } else {
+            self.stations[id].waiting.push_back(job);
+        }
+        self.agenda.push(id);
+    }
+
+    /// Deliver a routed message to inbound queue `hop`; returns `false`
+    /// (and registers the blocker) when the buffer is full.
+    fn deliver_to_in(&mut self, hop: usize, from_id: usize, job: Job) -> bool {
+        let in_id = Self::station_id(IN, hop, self.p);
+        if let Some(cap) = self.switch_buffer {
+            if self.stations[in_id].jobs_waiting() >= cap {
+                self.stations[from_id].stalled = Some(job);
+                self.blocked_on[hop].push_back(from_id);
+                self.blocked_events += 1;
+                return false;
+            }
+        }
+        self.enqueue(IN, hop, job);
+        true
+    }
+
+    /// Drain the agenda: start every service that can start.
+    fn settle(&mut self) {
+        while let Some(id) = self.agenda.pop() {
+            loop {
+                let st = &self.stations[id];
+                if st.busy >= st.servers || st.stalled.is_some() {
+                    break;
+                }
+                let job = {
+                    let st = &mut self.stations[id];
+                    match st.waiting_local.pop_front() {
+                        Some(j) => Some(j),
+                        None => st.waiting.pop_front(),
+                    }
+                };
+                let Some(job) = job else { break };
+                let now = self.events.now();
+                let bank = id / self.p;
+                let node = id % self.p;
+                match bank {
+                    PROC => self.busy_proc.add(now, 1.0),
+                    MEM => self.busy_mem.add(now, 1.0),
+                    IN => self.busy_in.add(now, 1.0),
+                    OUT => self.busy_out.add(now, 1.0),
+                    _ => unreachable!(),
+                }
+                self.stations[id].busy += 1;
+                let delay = if bank == PROC && self.trace.is_some() {
+                    // Trace runlengths are literal; the context-switch
+                    // overhead still applies per activation.
+                    job.svc + self.context_switch
+                } else {
+                    self.rng.sample(&self.stations[id].dist)
+                };
+                self.events
+                    .schedule_in(delay, Completion { bank, node, job });
+                // A slot freed in an inbound queue: wake one blocked
+                // upstream switch.
+                if bank == IN {
+                    if let Some(waiter) = self.blocked_on[node].pop_front() {
+                        let blocked = self.stations[waiter]
+                            .stalled
+                            .take()
+                            .expect("blocked waiter holds a job");
+                        self.stations[id].waiting.push_back(blocked);
+                        self.stations[waiter].busy -= 1;
+                        match waiter / self.p {
+                            OUT => self.busy_out.add(now, -1.0),
+                            IN => self.busy_in.add(now, -1.0),
+                            _ => unreachable!("only switches stall"),
+                        }
+                        self.agenda.push(waiter);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, c: Completion) {
+        let now = self.events.now();
+        let id = Self::station_id(c.bank, c.node, self.p);
+        let mut job = c.job;
+        match c.bank {
+            PROC => {
+                self.stations[id].busy -= 1;
+                self.busy_proc.add(now, -1.0);
+                self.proc_completions += 1;
+                let remote_dest = if self.trace.is_some() {
+                    (job.planned_dest != LOCAL).then_some(job.planned_dest as usize)
+                } else if self.p_remote > 0.0 && self.rng.bernoulli(self.p_remote) {
+                    Some(self.rng.choose_weighted(&self.remote_probs[c.node]))
+                } else {
+                    None
+                };
+                if self
+                    .max_outstanding
+                    .is_some_and(|cap| self.outstanding[c.node] >= cap)
+                {
+                    // Hardware parallelism exhausted: the access waits at
+                    // the issue stage until a response returns.
+                    job.planned_dest = remote_dest.map_or(LOCAL, |d| d as u32);
+                    self.issue_wait[c.node].push_back(job);
+                    self.issue_stalls += 1;
+                } else {
+                    self.outstanding[c.node] += 1;
+                    self.issue(c.node, remote_dest, job, now);
+                }
+                self.agenda.push(id);
+            }
+            OUT => {
+                let hop = self
+                    .topo
+                    .next_hop(c.node, job.target())
+                    .expect("messages in the network travel");
+                if self.deliver_to_in(hop, id, job) {
+                    self.stations[id].busy -= 1;
+                    self.busy_out.add(now, -1.0);
+                    self.agenda.push(id);
+                }
+            }
+            IN => {
+                let target = job.target();
+                if c.node != target {
+                    let hop = self.topo.next_hop(c.node, target).expect("not at target");
+                    if self.deliver_to_in(hop, id, job) {
+                        self.stations[id].busy -= 1;
+                        self.busy_in.add(now, -1.0);
+                        self.agenda.push(id);
+                    }
+                } else {
+                    self.s_obs.record(now - job.net_enter);
+                    self.s_obs_q.record(now - job.net_enter);
+                    match job.dir {
+                        Dir::Request => {
+                            job.mem_enter = now;
+                            self.enqueue(MEM, c.node, job);
+                        }
+                        Dir::Response => {
+                            self.response_returned(c.node, now);
+                            self.prepare_thread(&mut job);
+                            self.enqueue(PROC, job.class as usize, job);
+                        }
+                    }
+                    self.stations[id].busy -= 1;
+                    self.busy_in.add(now, -1.0);
+                    self.agenda.push(id);
+                }
+            }
+            MEM => {
+                self.stations[id].busy -= 1;
+                self.busy_mem.add(now, -1.0);
+                let latency = now - job.mem_enter;
+                self.l_obs.record(latency);
+                if job.class as usize == c.node {
+                    self.l_obs_local.record(latency);
+                    self.response_returned(c.node, now);
+                    self.prepare_thread(&mut job);
+                    self.enqueue(PROC, job.class as usize, job);
+                } else {
+                    job.dir = Dir::Response;
+                    job.net_enter = now;
+                    self.enqueue(OUT, c.node, job);
+                }
+                self.agenda.push(id);
+            }
+            _ => unreachable!(),
+        }
+        self.settle();
+    }
+
+    /// Run until `t_end`; returns `false` on deadlock.
+    fn run_until(&mut self, t_end: Time) -> bool {
+        while let Some(next) = self.events.peek_time() {
+            if next > t_end {
+                return true;
+            }
+            let (_, c) = self.events.pop().expect("peeked");
+            self.handle(c);
+        }
+        // No events left: fine only if nothing is stuck waiting or stalled.
+        self.stations
+            .iter()
+            .all(|s| s.busy == 0 && s.jobs_waiting() == 0 && s.stalled.is_none())
+    }
+
+    fn reset_stats(&mut self) {
+        let now = self.events.now();
+        self.busy_proc.reset(now);
+        self.busy_mem.reset(now);
+        self.busy_in.reset(now);
+        self.busy_out.reset(now);
+        self.proc_completions = 0;
+        self.remote_sent = 0;
+        self.s_obs = Tally::new();
+        self.l_obs = Tally::new();
+        self.l_obs_local = Tally::new();
+    }
+}
+
+/// Simulate the machine described by `cfg` under `opts` (stochastic
+/// workload, the paper's model).
+pub fn simulate(cfg: &SystemConfig, opts: &MmsOptions) -> MmsSimResult {
+    run_simulation(cfg, opts, None)
+}
+
+/// Suggest a warm-up length for `cfg` with the MSER-5 rule
+/// (`lt_desim::warmup`): a pilot run of `pilot_horizon` is sliced into 100
+/// windows of per-window processor-busy means, and the minimizing
+/// truncation point is scaled back to simulated time. Returns
+/// `pilot_horizon / 2` (the cap) when the pilot never settles — in that
+/// case run a longer pilot.
+pub fn suggest_warmup(cfg: &SystemConfig, pilot_horizon: f64, seed: u64) -> f64 {
+    cfg.validate().expect("valid configuration");
+    assert!(pilot_horizon > 0.0);
+    let opts = MmsOptions {
+        horizon: pilot_horizon,
+        warmup: 0.0,
+        batches: 2,
+        seed,
+        ..MmsOptions::default()
+    };
+    let mut sim = MmsSim::new(cfg, &opts);
+    let p = sim.p;
+    for i in 0..p {
+        for t in 0..cfg.workload.n_threads {
+            let job = Job {
+                class: i as u32,
+                thread: t as u32,
+                dest: i as u32,
+                dir: Dir::Request,
+                net_enter: 0.0,
+                mem_enter: 0.0,
+                svc: 0.0,
+                planned_dest: LOCAL,
+            };
+            sim.enqueue(PROC, i, job);
+        }
+    }
+    sim.settle();
+
+    const WINDOWS: usize = 100;
+    let window = pilot_horizon / WINDOWS as f64;
+    let mut means = Vec::with_capacity(WINDOWS);
+    for w in 0..WINDOWS {
+        let t_end = (w + 1) as f64 * window;
+        sim.run_until(t_end);
+        means.push(sim.busy_proc.mean(t_end) / p as f64);
+        sim.busy_proc.reset(t_end);
+    }
+    match lt_desim::warmup::mser(&means) {
+        Some(est) => est.truncate_batches as f64 * window,
+        None => 0.0,
+    }
+}
+
+/// Replay a concrete [`TraceWorkload`] on the machine instead of sampling
+/// the stochastic workload. `p_remote` and `runlength` in `cfg` are
+/// ignored (the trace carries them); everything architectural applies.
+pub fn simulate_trace(
+    cfg: &SystemConfig,
+    opts: &MmsOptions,
+    workload: &TraceWorkload,
+) -> MmsSimResult {
+    workload.validate(cfg).expect("trace matches the machine");
+    run_simulation(cfg, opts, Some(workload.clone()))
+}
+
+fn run_simulation(
+    cfg: &SystemConfig,
+    opts: &MmsOptions,
+    trace: Option<TraceWorkload>,
+) -> MmsSimResult {
+    cfg.validate().expect("valid configuration");
+    assert!(opts.batches >= 2, "need >= 2 batches for CIs");
+    assert!(
+        opts.max_outstanding.map_or(true, |c| c >= 1),
+        "max_outstanding must be >= 1"
+    );
+    let mut sim = MmsSim::new(cfg, opts);
+    if let Some(workload) = trace {
+        // U_p counts useful work: scale busy time by the *trace's* mean
+        // runlength against the per-activation context switch.
+        let mean_r = workload.mean_runlength();
+        sim.useful_fraction = mean_r / (mean_r + cfg.workload.context_switch);
+        let cursors = workload
+            .threads
+            .iter()
+            .map(|node| vec![0usize; node.len()])
+            .collect();
+        sim.trace = Some((workload, cursors));
+    }
+    let p = sim.p;
+
+    // Initial marking: n_t ready threads per processor.
+    for i in 0..p {
+        for t in 0..cfg.workload.n_threads {
+            let mut job = Job {
+                class: i as u32,
+                thread: t as u32,
+                dest: i as u32,
+                dir: Dir::Request,
+                net_enter: 0.0,
+                mem_enter: 0.0,
+                svc: 0.0,
+                planned_dest: LOCAL,
+            };
+            sim.prepare_thread(&mut job);
+            sim.enqueue(PROC, i, job);
+        }
+    }
+    sim.settle();
+
+    let mut deadlocked = !sim.run_until(opts.warmup);
+    sim.reset_stats();
+    // The quantile estimator accumulates over the whole measured horizon
+    // (it needs volume, unlike the per-batch means).
+    sim.s_obs_q = P2Quantile::new(0.95);
+
+    let batch_len = opts.horizon / opts.batches as f64;
+    let mut bm_u_p = BatchMeans::new();
+    let mut bm_lambda = BatchMeans::new();
+    let mut bm_net = BatchMeans::new();
+    let mut bm_s = BatchMeans::new();
+    let mut bm_l = BatchMeans::new();
+    let mut bm_l_local = BatchMeans::new();
+    let mut bm_mem_u = BatchMeans::new();
+    let mut bm_in_u = BatchMeans::new();
+    let mut bm_out_u = BatchMeans::new();
+    let mut s_samples = 0;
+
+    for b in 0..opts.batches {
+        let t_end = opts.warmup + (b + 1) as f64 * batch_len;
+        if !sim.run_until(t_end) {
+            deadlocked = true;
+            break;
+        }
+        bm_u_p.push_batch(sim.busy_proc.mean(t_end) / p as f64 * sim.useful_fraction);
+        bm_mem_u.push_batch(sim.busy_mem.mean(t_end) / p as f64);
+        bm_in_u.push_batch(sim.busy_in.mean(t_end) / p as f64);
+        bm_out_u.push_batch(sim.busy_out.mean(t_end) / p as f64);
+        bm_lambda.push_batch(sim.proc_completions as f64 / p as f64 / batch_len);
+        bm_net.push_batch(sim.remote_sent as f64 / p as f64 / batch_len);
+        if sim.s_obs.count() > 0 {
+            bm_s.push_batch(sim.s_obs.mean());
+        }
+        if sim.l_obs.count() > 0 {
+            bm_l.push_batch(sim.l_obs.mean());
+        }
+        if sim.l_obs_local.count() > 0 {
+            bm_l_local.push_batch(sim.l_obs_local.mean());
+        }
+        s_samples += sim.s_obs.count();
+        sim.reset_stats();
+    }
+
+    MmsSimResult {
+        u_p: Estimate::from_batches(&bm_u_p),
+        lambda_proc: Estimate::from_batches(&bm_lambda),
+        lambda_net: Estimate::from_batches(&bm_net),
+        s_obs: Estimate::from_batches(&bm_s),
+        l_obs: Estimate::from_batches(&bm_l),
+        l_obs_local: Estimate::from_batches(&bm_l_local),
+        s_obs_p95: sim.s_obs_q.estimate(),
+        s_obs_samples: s_samples,
+        blocked_events: sim.blocked_events,
+        issue_stalls: sim.issue_stalls,
+        memory_util: Estimate::from_batches(&bm_mem_u),
+        in_switch_util: Estimate::from_batches(&bm_in_u),
+        out_switch_util: Estimate::from_batches(&bm_out_u),
+        deadlocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_core::prelude::*;
+
+    fn opts(horizon: f64, seed: u64) -> MmsOptions {
+        MmsOptions {
+            horizon,
+            warmup: horizon / 10.0,
+            batches: 5,
+            seed,
+            ..MmsOptions::default()
+        }
+    }
+
+    #[test]
+    fn matches_analytical_model() {
+        let cfg = SystemConfig::paper_default();
+        let res = simulate(&cfg, &opts(60_000.0, 1));
+        let model = solve(&cfg).unwrap();
+        let rel = (res.u_p.mean - model.u_p).abs() / model.u_p;
+        assert!(
+            rel < 0.05,
+            "U_p sim {} vs model {}",
+            res.u_p.mean,
+            model.u_p
+        );
+        assert!(!res.deadlocked);
+    }
+
+    #[test]
+    fn agrees_with_stpn_simulator() {
+        // Two independent simulators of the same machine must agree.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.4);
+        let direct = simulate(&cfg, &opts(60_000.0, 2));
+        let stpn = lt_stpn::mms::simulate(
+            &cfg,
+            &lt_stpn::mms::SimSettings {
+                horizon: 60_000.0,
+                warmup: 6_000.0,
+                batches: 5,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let rel_u = (direct.u_p.mean - stpn.u_p.mean).abs() / stpn.u_p.mean;
+        assert!(
+            rel_u < 0.03,
+            "U_p direct {} vs stpn {}",
+            direct.u_p.mean,
+            stpn.u_p.mean
+        );
+        let rel_s = (direct.s_obs.mean - stpn.s_obs.mean).abs() / stpn.s_obs.mean;
+        assert!(
+            rel_s < 0.06,
+            "S_obs direct {} vs stpn {}",
+            direct.s_obs.mean,
+            stpn.s_obs.mean
+        );
+    }
+
+    #[test]
+    fn local_priority_memory_speeds_up_local_accesses() {
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(0.5)
+            .with_switch_delay(0.0);
+        let fifo = simulate(&cfg, &opts(40_000.0, 4));
+        let prio = simulate(
+            &cfg,
+            &MmsOptions {
+                local_priority_memory: true,
+                ..opts(40_000.0, 4)
+            },
+        );
+        assert!(
+            prio.l_obs_local.mean < fifo.l_obs_local.mean,
+            "priority {} !< fifo {}",
+            prio.l_obs_local.mean,
+            fifo.l_obs_local.mean
+        );
+    }
+
+    #[test]
+    fn multiport_memory_raises_utilization_when_memory_bound() {
+        // Memory-bound setting: L = 2R, all local.
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(0.0)
+            .with_memory_latency(2.0);
+        let one = simulate(&cfg, &opts(40_000.0, 5));
+        let four = simulate(&cfg.with_memory_ports(4), &opts(40_000.0, 5));
+        assert!(
+            four.u_p.mean > one.u_p.mean + 0.1,
+            "4 ports {} vs 1 port {}",
+            four.u_p.mean,
+            one.u_p.mean
+        );
+    }
+
+    #[test]
+    fn finite_buffers_cause_blocking_under_load() {
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(0.8)
+            .with_n_threads(16);
+        let res = simulate(
+            &cfg,
+            &MmsOptions {
+                switch_buffer: Some(2),
+                ..opts(20_000.0, 6)
+            },
+        );
+        assert!(res.blocked_events > 0, "expected upstream stalls");
+        // Throughput under tiny buffers must not exceed the unbounded case.
+        let free = simulate(&cfg, &opts(20_000.0, 6));
+        assert!(res.lambda_net.mean <= free.lambda_net.mean + 0.01);
+    }
+
+    #[test]
+    fn unbounded_buffers_never_block_or_deadlock() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.9);
+        let res = simulate(&cfg, &opts(20_000.0, 7));
+        assert_eq!(res.blocked_events, 0);
+        assert!(!res.deadlocked);
+    }
+
+    #[test]
+    fn outstanding_limit_caps_memory_parallelism() {
+        // With a single outstanding access per processor the machine
+        // degrades toward one-access-at-a-time; U_p must fall well below
+        // the unbounded case and stalls must be observed.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let free = simulate(&cfg, &opts(30_000.0, 20));
+        let capped = simulate(
+            &cfg,
+            &MmsOptions {
+                max_outstanding: Some(1),
+                ..opts(30_000.0, 20)
+            },
+        );
+        assert!(capped.issue_stalls > 0);
+        assert!(
+            capped.u_p.mean < free.u_p.mean - 0.05,
+            "capped {} vs free {}",
+            capped.u_p.mean,
+            free.u_p.mean
+        );
+        assert_eq!(free.issue_stalls, 0);
+    }
+
+    #[test]
+    fn generous_outstanding_limit_changes_nothing() {
+        // cap >= n_t can never bind (each thread has at most one access).
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let free = simulate(&cfg, &opts(20_000.0, 21));
+        let capped = simulate(
+            &cfg,
+            &MmsOptions {
+                max_outstanding: Some(8),
+                ..opts(20_000.0, 21)
+            },
+        );
+        assert_eq!(capped.issue_stalls, 0);
+        assert_eq!(capped.u_p, free.u_p);
+    }
+
+    #[test]
+    fn suggested_warmup_is_modest_and_usable() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let w = suggest_warmup(&cfg, 20_000.0, 42);
+        // This system reaches steady state quickly: the MSER cut must be
+        // well below the half-pilot cap.
+        assert!(
+            (0.0..=8_000.0).contains(&w),
+            "suggested warmup {w} out of range"
+        );
+        // And measuring with the suggestion agrees with the model.
+        let res = simulate(
+            &cfg,
+            &MmsOptions {
+                horizon: 30_000.0,
+                warmup: w.max(500.0),
+                batches: 5,
+                seed: 43,
+                ..MmsOptions::default()
+            },
+        );
+        let model = solve(&cfg).unwrap();
+        assert!((res.u_p.mean - model.u_p).abs() / model.u_p < 0.05);
+    }
+
+    #[test]
+    fn subsystem_utilizations_match_model() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let res = simulate(&cfg, &opts(40_000.0, 30));
+        let model = solve(&cfg).unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() < 0.03;
+        assert!(
+            close(res.memory_util.mean, model.utilization.memory),
+            "mem {} vs {}",
+            res.memory_util.mean,
+            model.utilization.memory
+        );
+        assert!(
+            close(res.in_switch_util.mean, model.utilization.in_switch),
+            "in {} vs {}",
+            res.in_switch_util.mean,
+            model.utilization.in_switch
+        );
+        assert!(
+            close(res.out_switch_util.mean, model.utilization.out_switch),
+            "out {} vs {}",
+            res.out_switch_util.mean,
+            model.utilization.out_switch
+        );
+    }
+
+    #[test]
+    fn s_obs_tail_exceeds_mean() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let res = simulate(&cfg, &opts(30_000.0, 10));
+        assert!(
+            res.s_obs_p95 > res.s_obs.mean,
+            "p95 {} must exceed mean {}",
+            res.s_obs_p95,
+            res.s_obs.mean
+        );
+        // Exponential-ish stages: the tail should be within a small factor.
+        assert!(res.s_obs_p95 < 6.0 * res.s_obs.mean);
+    }
+
+    #[test]
+    fn synthesized_trace_reproduces_stochastic_results() {
+        // A trace drawn from the model's own distributions must land on
+        // the same steady state as the stochastic simulation.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.3);
+        let trace = crate::trace::TraceWorkload::synthesize(&cfg, 50_000, 11);
+        let stoch = simulate(&cfg, &opts(40_000.0, 12));
+        let traced = simulate_trace(&cfg, &opts(40_000.0, 12), &trace);
+        let rel = (stoch.u_p.mean - traced.u_p.mean).abs() / stoch.u_p.mean;
+        assert!(
+            rel < 0.03,
+            "stochastic {} vs traced {}",
+            stoch.u_p.mean,
+            traced.u_p.mean
+        );
+        let rel_net =
+            (stoch.lambda_net.mean - traced.lambda_net.mean).abs() / stoch.lambda_net.mean;
+        assert!(
+            rel_net < 0.04,
+            "λ_net {} vs {}",
+            stoch.lambda_net.mean,
+            traced.lambda_net.mean
+        );
+    }
+
+    #[test]
+    fn do_all_trace_has_exact_remote_rate() {
+        // Deterministic stride-4 remote accesses: λ_net must be exactly a
+        // quarter of λ_proc (no sampling noise in the workload itself).
+        let cfg = SystemConfig::paper_default();
+        let trace = crate::trace::TraceWorkload::do_all_loop(&cfg, 1.0, 4, 1000);
+        let res = simulate_trace(&cfg, &opts(30_000.0, 13), &trace);
+        let ratio = res.lambda_net.mean / res.lambda_proc.mean;
+        assert!((ratio - 0.25).abs() < 0.01, "remote ratio {ratio}");
+        assert!(!res.deadlocked);
+    }
+
+    #[test]
+    fn trace_mode_runlengths_are_deterministic() {
+        // With a constant-runlength trace and p_remote-free config, the
+        // processor busy time per completion is exactly the runlength.
+        let cfg = SystemConfig::paper_default();
+        let trace = crate::trace::TraceWorkload::do_all_loop(&cfg, 2.0, 1_000_000, 100);
+        let res = simulate_trace(&cfg, &opts(20_000.0, 14), &trace);
+        // All-local (stride never fires in 100 iterations? it fires at
+        // iteration 999_999 — effectively never): U_p = λ_proc * R = 2λ.
+        assert!((res.u_p.mean - 2.0 * res.lambda_proc.mean).abs() < 0.05);
+        assert_eq!(res.s_obs_samples, 0);
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let cfg = SystemConfig::paper_default();
+        let a = simulate(&cfg, &opts(5_000.0, 8));
+        let b = simulate(&cfg, &opts(5_000.0, 8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lambda_identities_hold() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.3);
+        let res = simulate(&cfg, &opts(40_000.0, 9));
+        assert!((res.lambda_net.mean - 0.3 * res.lambda_proc.mean).abs() < 0.01);
+        assert!((res.u_p.mean - res.lambda_proc.mean * 1.0).abs() < 0.02);
+    }
+}

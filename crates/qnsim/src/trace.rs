@@ -1,0 +1,239 @@
+//! Trace-driven workloads.
+//!
+//! The analytical model abstracts a program into `(n_t, R, p_remote,
+//! pattern)`. This module goes the other way: a **trace** gives every
+//! thread a concrete sequence of `(runlength, destination)` pairs, and
+//! [`crate::mms::simulate_trace`] replays it on the simulated machine.
+//! Two generators are provided:
+//!
+//! * [`TraceWorkload::synthesize`] — draw the sequences from the model's
+//!   own distributions. Statistically this *is* the stochastic workload,
+//!   so simulation results must match `simulate` (tested); it exists to
+//!   validate the trace path and as a template for custom generators.
+//! * [`TraceWorkload::do_all_loop`] — the paper's motivating workload made
+//!   literal: iterations of fixed runlength, every `stride`-th access
+//!   going to the iteration's neighbor block (deterministic destinations,
+//!   round-robin by distance).
+
+use lt_core::params::SystemConfig;
+use lt_core::topology::NodeId;
+use lt_desim::SimRng;
+
+/// One thread step: compute for `runlength`, then access `dest`
+/// (`None` = the local memory module).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Computation time before the access.
+    pub runlength: f64,
+    /// Access destination; `None` for local.
+    pub dest: Option<NodeId>,
+}
+
+/// The access sequence of one thread (cycled when exhausted).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThreadTrace {
+    /// The steps, replayed round-robin.
+    pub entries: Vec<TraceEntry>,
+}
+
+/// Traces for every thread of every node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWorkload {
+    /// `threads[node][thread]`.
+    pub threads: Vec<Vec<ThreadTrace>>,
+}
+
+impl TraceWorkload {
+    /// Draw `entries_per_thread` steps per thread from the configuration's
+    /// stochastic model (exponential runlengths, Bernoulli remoteness,
+    /// pattern-distributed destinations).
+    pub fn synthesize(cfg: &SystemConfig, entries_per_thread: usize, seed: u64) -> Self {
+        let topo = cfg.arch.topology;
+        let p = topo.nodes();
+        let mut threads = Vec::with_capacity(p);
+        for node in 0..p {
+            let probs = cfg.workload.pattern.remote_probs(&topo, node);
+            let mut node_threads = Vec::with_capacity(cfg.workload.n_threads);
+            for t in 0..cfg.workload.n_threads {
+                let mut rng = SimRng::substream(seed, (node * 8192 + t) as u64);
+                let entries = (0..entries_per_thread)
+                    .map(|_| {
+                        let runlength = rng.exponential(cfg.workload.runlength);
+                        let dest = if cfg.workload.p_remote > 0.0
+                            && rng.bernoulli(cfg.workload.p_remote)
+                        {
+                            Some(rng.choose_weighted(&probs))
+                        } else {
+                            None
+                        };
+                        TraceEntry { runlength, dest }
+                    })
+                    .collect();
+                node_threads.push(ThreadTrace { entries });
+            }
+            threads.push(node_threads);
+        }
+        TraceWorkload { threads }
+    }
+
+    /// A deterministic do-all loop: every iteration computes for
+    /// `runlength`; every `stride`-th access is remote, walking the other
+    /// nodes in order of distance (nearest first) — a compiler-shaped
+    /// blocked data distribution.
+    pub fn do_all_loop(
+        cfg: &SystemConfig,
+        runlength: f64,
+        stride: usize,
+        iterations: usize,
+    ) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        let topo = cfg.arch.topology;
+        let p = topo.nodes();
+        let mut threads = Vec::with_capacity(p);
+        for node in 0..p {
+            // Remote targets nearest-first, deterministic.
+            let mut targets: Vec<NodeId> = (0..p).filter(|&j| j != node).collect();
+            targets.sort_by_key(|&j| (topo.distance(node, j), j));
+            let mut node_threads = Vec::with_capacity(cfg.workload.n_threads);
+            for t in 0..cfg.workload.n_threads {
+                let mut next_target = t % targets.len().max(1);
+                let entries = (0..iterations)
+                    .map(|i| {
+                        let dest = if !targets.is_empty() && (i + 1) % stride == 0 {
+                            let d = targets[next_target];
+                            next_target = (next_target + 1) % targets.len();
+                            Some(d)
+                        } else {
+                            None
+                        };
+                        TraceEntry { runlength, dest }
+                    })
+                    .collect();
+                node_threads.push(ThreadTrace { entries });
+            }
+            threads.push(node_threads);
+        }
+        TraceWorkload { threads }
+    }
+
+    /// Structural check against a configuration: one trace per thread,
+    /// every destination a real non-local node, no empty traces.
+    pub fn validate(&self, cfg: &SystemConfig) -> Result<(), String> {
+        let p = cfg.nodes();
+        if self.threads.len() != p {
+            return Err(format!(
+                "trace covers {} nodes, machine has {p}",
+                self.threads.len()
+            ));
+        }
+        for (node, threads) in self.threads.iter().enumerate() {
+            if threads.len() != cfg.workload.n_threads {
+                return Err(format!(
+                    "node {node}: {} traces for {} threads",
+                    threads.len(),
+                    cfg.workload.n_threads
+                ));
+            }
+            for (t, trace) in threads.iter().enumerate() {
+                if trace.entries.is_empty() {
+                    return Err(format!("node {node} thread {t}: empty trace"));
+                }
+                for e in &trace.entries {
+                    if !e.runlength.is_finite() || e.runlength <= 0.0 {
+                        return Err(format!(
+                            "node {node} thread {t}: bad runlength {}",
+                            e.runlength
+                        ));
+                    }
+                    if let Some(d) = e.dest {
+                        if d >= p || d == node {
+                            return Err(format!("node {node} thread {t}: bad destination {d}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Empirical remote fraction of the whole trace.
+    pub fn remote_fraction(&self) -> f64 {
+        let mut total = 0usize;
+        let mut remote = 0usize;
+        for node in &self.threads {
+            for t in node {
+                total += t.entries.len();
+                remote += t.entries.iter().filter(|e| e.dest.is_some()).count();
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            remote as f64 / total as f64
+        }
+    }
+
+    /// Empirical mean runlength of the whole trace.
+    pub fn mean_runlength(&self) -> f64 {
+        let mut total = 0usize;
+        let mut sum = 0.0;
+        for node in &self.threads {
+            for t in node {
+                total += t.entries.len();
+                sum += t.entries.iter().map(|e| e.runlength).sum::<f64>();
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            sum / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_core::prelude::SystemConfig;
+
+    #[test]
+    fn synthesized_trace_matches_model_statistics() {
+        let cfg = SystemConfig::paper_default().with_p_remote(0.3);
+        let w = TraceWorkload::synthesize(&cfg, 2000, 7);
+        w.validate(&cfg).unwrap();
+        assert!((w.remote_fraction() - 0.3).abs() < 0.01);
+        assert!((w.mean_runlength() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn do_all_loop_has_exact_remote_fraction() {
+        let cfg = SystemConfig::paper_default();
+        let w = TraceWorkload::do_all_loop(&cfg, 2.0, 4, 100);
+        w.validate(&cfg).unwrap();
+        assert_eq!(w.remote_fraction(), 0.25);
+        assert_eq!(w.mean_runlength(), 2.0);
+    }
+
+    #[test]
+    fn do_all_targets_walk_nearest_first() {
+        let cfg = SystemConfig::paper_default().with_n_threads(1);
+        let w = TraceWorkload::do_all_loop(&cfg, 1.0, 1, 4);
+        let trace = &w.threads[0][0];
+        let topo = cfg.arch.topology;
+        let d0 = topo.distance(0, trace.entries[0].dest.unwrap());
+        assert_eq!(d0, 1, "first remote target is a neighbor");
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        let cfg = SystemConfig::paper_default();
+        let mut w = TraceWorkload::synthesize(&cfg, 10, 1);
+        w.threads[3][2].entries[0].dest = Some(3); // self-access
+        assert!(w.validate(&cfg).is_err());
+        let mut w = TraceWorkload::synthesize(&cfg, 10, 1);
+        w.threads[0][0].entries.clear();
+        assert!(w.validate(&cfg).is_err());
+        let w = TraceWorkload::synthesize(&cfg.with_n_threads(4), 10, 1);
+        assert!(w.validate(&cfg).is_err(), "thread count mismatch");
+    }
+}

@@ -1,0 +1,34 @@
+//! # lt-stpn — colored stochastic timed Petri nets
+//!
+//! The paper validates its analytical model against simulations of a
+//! **Stochastic Timed Petri Net** (STPN) of the multithreaded
+//! multiprocessor (Section 8). The authors' tool is not available, so this
+//! crate implements the substrate from scratch:
+//!
+//! * [`net`] — net structure: places holding FIFO queues of *colored*
+//!   tokens, transitions that are either **immediate** (fire in zero time,
+//!   weighted conflict resolution) or **timed** (exponential /
+//!   deterministic / uniform / Erlang firing delays, `k`-server
+//!   semantics), and output functions that may inspect token colors —
+//!   which is what lets one transition per physical switch route messages
+//!   of any (class, destination) without exploding the net.
+//! * [`sim`] — the execution engine: race semantics with enabling
+//!   memory (a timed transition claims its input tokens when it starts
+//!   firing), deterministic tie-breaking, per-place occupancy and
+//!   per-transition busy-time statistics, warm-up truncation.
+//! * [`mms`] — the MMS model of the paper's Section 8, built on the
+//!   engine, with the same assumptions as the analytical model, and a
+//!   batch-means harness producing confidence intervals for `U_p`,
+//!   `λ_net`, `S_obs`, and `L_obs`.
+//!
+//! The queueing discipline at shared servers is FCFS over each place's
+//! token queue; for exponential firing times this matches the analytical
+//! model's FCFS stations (mean behavior of M/M/1 is insensitive to
+//! non-preemptive order anyway).
+
+pub mod mms;
+pub mod net;
+pub mod sim;
+
+pub use net::{Firing, NetBuilder, PetriNet, PlaceId, TransitionId};
+pub use sim::StpnSim;

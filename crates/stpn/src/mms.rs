@@ -1,0 +1,473 @@
+//! The MMS as a colored STPN — the paper's Section 8 validation vehicle.
+//!
+//! Net shape, per node `i` of the `k × k` torus:
+//!
+//! ```text
+//! ready[i] ──(exec[i]: Exp(R+C), 1 server)──► local:  mem_q[i]
+//!                                          └► remote: out_q[i]     (request)
+//! out_q[j] ──(out[j]: Exp(S), 1 server)────► in_q[first hop]
+//! in_q[j]  ──(in[j]:  Exp(S), 1 server)────► in_q[next hop]        (j ≠ dest)
+//!                                          └► mem_q[j]             (request at dest)
+//!                                          └► ready[class]         (response at home)
+//! mem_q[j] ──(mem[j]: Exp(L), `ports` servers)► ready[class]       (local access)
+//!                                            └► out_q[j]           (remote response)
+//! ```
+//!
+//! Tokens are threads/messages colored with `(class, destination,
+//! direction)` plus the timestamps used for the observed-latency tallies.
+//! The assumptions match the analytical model exactly: exponential service
+//! at every stage (deterministic memory as the Section 8 sensitivity
+//! variant), FCFS queues, single-server switches operating in one direction
+//! at a time, no message loss, fixed thread population.
+//!
+//! Measured quantities (batch means, 95% CIs):
+//! * `U_p` — busy fraction of the `exec` transitions (scaled by
+//!   `R/(R+C)` so only useful work counts),
+//! * `λ_proc`, `λ_net` — firing rate of `exec` / rate of remote sends,
+//! * `S_obs` — per *leg* (request or response) time from entering the
+//!   outbound queue to leaving the destination's inbound switch — the
+//!   simulation counterpart of the analytical one-way `S_obs`,
+//! * `L_obs` — time from memory-queue arrival to service completion.
+
+use crate::net::{NetBuilder, PetriNet, PlaceId, TransitionId};
+use crate::sim::StpnSim;
+use lt_core::params::SystemConfig;
+use lt_core::topology::Topology;
+use lt_desim::{BatchMeans, Estimate, Tally, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Distribution family per stage (re-exported from `lt-desim`).
+pub use lt_desim::DistFamily as DistKind;
+
+/// Simulation controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSettings {
+    /// Measured horizon after warm-up (the paper simulates 100,000 time
+    /// units).
+    pub horizon: f64,
+    /// Warm-up period discarded before measuring.
+    pub warmup: f64,
+    /// Number of batch-means batches the horizon is split into.
+    pub batches: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Thread runlength distribution.
+    pub runlength_dist: DistKind,
+    /// Memory service distribution.
+    pub memory_dist: DistKind,
+    /// Switch routing-delay distribution.
+    pub switch_dist: DistKind,
+}
+
+impl Default for SimSettings {
+    fn default() -> Self {
+        SimSettings {
+            horizon: 100_000.0,
+            warmup: 10_000.0,
+            batches: 10,
+            seed: 0x5EED,
+            runlength_dist: DistKind::Exponential,
+            memory_dist: DistKind::Exponential,
+            switch_dist: DistKind::Exponential,
+        }
+    }
+}
+
+/// Simulation output (averaged over processors — the SPMD assumption makes
+/// them statistically identical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Processor utilization (useful work only).
+    pub u_p: Estimate,
+    /// Memory-access issue rate per processor.
+    pub lambda_proc: Estimate,
+    /// Remote-message rate per processor (paper Equation 2's quantity).
+    pub lambda_net: Estimate,
+    /// Observed one-way network latency per leg.
+    pub s_obs: Estimate,
+    /// Observed memory latency per access.
+    pub l_obs: Estimate,
+    /// Number of network-leg latency samples collected.
+    pub s_obs_samples: u64,
+    /// Number of memory-access samples collected.
+    pub l_obs_samples: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Request,
+    Response,
+}
+
+/// Token color: a thread or its in-flight memory access (fields are
+/// internal; the type is public only so [`MmsNet::net`] can be named).
+pub struct MmsToken {
+    class: usize,
+    dest: usize,
+    direction: Direction,
+    net_enter: Time,
+    mem_enter: Time,
+}
+
+#[derive(Default)]
+struct SharedTallies {
+    s_obs: Tally,
+    l_obs: Tally,
+    remote_sent: u64,
+}
+
+/// Handles into the built net, exposed for white-box tests.
+pub struct MmsNet {
+    /// The Petri net.
+    pub net: PetriNet<MmsToken>,
+    /// `ready[i]` places.
+    pub ready: Vec<PlaceId>,
+    /// `exec[i]` transitions.
+    pub exec: Vec<TransitionId>,
+    /// `mem[i]` transitions.
+    pub mem: Vec<TransitionId>,
+    tallies: Rc<RefCell<SharedTallies>>,
+}
+
+/// Build the MMS net for a configuration.
+pub fn build(cfg: &SystemConfig, settings: &SimSettings) -> MmsNet {
+    let topo: Topology = cfg.arch.topology;
+    let p = topo.nodes();
+    let p_remote = cfg.workload.p_remote;
+    let tallies = Rc::new(RefCell::new(SharedTallies::default()));
+
+    let mut b: NetBuilder<MmsToken> = NetBuilder::new();
+    let ready: Vec<PlaceId> = (0..p).map(|i| b.place(format!("ready[{i}]"))).collect();
+    let mem_q: Vec<PlaceId> = (0..p).map(|i| b.place(format!("mem_q[{i}]"))).collect();
+    let out_q: Vec<PlaceId> = (0..p).map(|i| b.place(format!("out_q[{i}]"))).collect();
+    let in_q: Vec<PlaceId> = (0..p).map(|i| b.place(format!("in_q[{i}]"))).collect();
+
+    let exec_dist = settings
+        .runlength_dist
+        .with_mean(cfg.workload.processor_service());
+    let mem_dist = settings.memory_dist.with_mean(cfg.arch.memory_latency);
+    let sw_dist = settings.switch_dist.with_mean(cfg.arch.switch_delay);
+
+    // exec[i]: run a thread, then issue its memory access.
+    let mut exec = Vec::with_capacity(p);
+    for i in 0..p {
+        let q = cfg.workload.pattern.remote_probs(&topo, i);
+        let mem_q_i = mem_q[i];
+        let out_q_i = out_q[i];
+        let tl = Rc::clone(&tallies);
+        exec.push(b.timed(
+            format!("exec[{i}]"),
+            ready[i],
+            exec_dist,
+            Box::new(move |rng, now, mut toks| {
+                let mut tok = toks.pop().expect("one thread token");
+                if p_remote > 0.0 && rng.bernoulli(p_remote) {
+                    tok.dest = rng.choose_weighted(&q);
+                    tok.direction = Direction::Request;
+                    tok.net_enter = now;
+                    tl.borrow_mut().remote_sent += 1;
+                    vec![(out_q_i, tok)]
+                } else {
+                    tok.dest = i;
+                    tok.mem_enter = now;
+                    vec![(mem_q_i, tok)]
+                }
+            }),
+        ));
+    }
+
+    // out[j]: inject a message into the network toward its destination.
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..p {
+        let in_q_all = in_q.clone();
+        b.timed(
+            format!("out[{j}]"),
+            out_q[j],
+            sw_dist,
+            Box::new(move |_, _, mut toks| {
+                let tok = toks.pop().expect("one message token");
+                let target = match tok.direction {
+                    Direction::Request => tok.dest,
+                    Direction::Response => tok.class,
+                };
+                let hop = topo
+                    .next_hop(j, target)
+                    .expect("remote messages always travel");
+                vec![(in_q_all[hop], tok)]
+            }),
+        );
+    }
+
+    // in[j]: route onward, or deliver (to memory / back to the processor).
+    for j in 0..p {
+        let in_q_all = in_q.clone();
+        let mem_q_j = mem_q[j];
+        let ready_all = ready.clone();
+        let tl = Rc::clone(&tallies);
+        b.timed(
+            format!("in[{j}]"),
+            in_q[j],
+            sw_dist,
+            Box::new(move |_, now, mut toks| {
+                let mut tok = toks.pop().expect("one message token");
+                let target = match tok.direction {
+                    Direction::Request => tok.dest,
+                    Direction::Response => tok.class,
+                };
+                if j != target {
+                    let hop = topo.next_hop(j, target).expect("not yet at target");
+                    return vec![(in_q_all[hop], tok)];
+                }
+                // Exit from the network: one leg completed.
+                tl.borrow_mut().s_obs.record(now - tok.net_enter);
+                match tok.direction {
+                    Direction::Request => {
+                        tok.mem_enter = now;
+                        vec![(mem_q_j, tok)]
+                    }
+                    Direction::Response => vec![(ready_all[tok.class], tok)],
+                }
+            }),
+        );
+    }
+
+    // mem[j]: service the access; reply locally or over the network.
+    let mut mem = Vec::with_capacity(p);
+    for j in 0..p {
+        let ready_all = ready.clone();
+        let out_q_j = out_q[j];
+        let tl = Rc::clone(&tallies);
+        mem.push(b.transition(
+            format!("mem[{j}]"),
+            crate::net::Firing::Timed {
+                dist: mem_dist,
+                servers: cfg.arch.memory_ports,
+            },
+            vec![mem_q[j]],
+            Box::new(move |_, now, mut toks| {
+                let mut tok = toks.pop().expect("one access token");
+                tl.borrow_mut().l_obs.record(now - tok.mem_enter);
+                if tok.class == j {
+                    // Local access: respond directly.
+                    vec![(ready_all[tok.class], tok)]
+                } else {
+                    tok.direction = Direction::Response;
+                    tok.net_enter = now;
+                    vec![(out_q_j, tok)]
+                }
+            }),
+        ));
+    }
+
+    MmsNet {
+        net: b.build(),
+        ready,
+        exec,
+        mem,
+        tallies,
+    }
+}
+
+/// Run the Section 8 simulation: warm-up, then `batches` measurement
+/// windows, returning batch-means estimates.
+pub fn simulate(cfg: &SystemConfig, settings: &SimSettings) -> SimResult {
+    cfg.validate().expect("valid configuration");
+    assert!(settings.batches >= 2, "need >= 2 batches for CIs");
+    assert!(settings.horizon > 0.0 && settings.warmup >= 0.0);
+
+    let built = build(cfg, settings);
+    let p = cfg.nodes();
+    let tallies = Rc::clone(&built.tallies);
+    let exec = built.exec.clone();
+    let ready = built.ready.clone();
+    let mut sim = StpnSim::new(built.net, settings.seed);
+
+    for (i, &place) in ready.iter().enumerate() {
+        for _ in 0..cfg.workload.n_threads {
+            sim.deposit(
+                place,
+                MmsToken {
+                    class: i,
+                    dest: i,
+                    direction: Direction::Request,
+                    net_enter: 0.0,
+                    mem_enter: 0.0,
+                },
+            );
+        }
+    }
+    sim.settle();
+
+    // Warm-up.
+    sim.run_until(settings.warmup);
+    sim.reset_stats();
+    *tallies.borrow_mut() = SharedTallies::default();
+
+    let useful_fraction = cfg.workload.runlength / cfg.workload.processor_service();
+    let batch_len = settings.horizon / settings.batches as f64;
+    let mut bm_u_p = BatchMeans::new();
+    let mut bm_lambda = BatchMeans::new();
+    let mut bm_net = BatchMeans::new();
+    let mut bm_s_obs = BatchMeans::new();
+    let mut bm_l_obs = BatchMeans::new();
+    let mut s_samples = 0u64;
+    let mut l_samples = 0u64;
+
+    for batch in 0..settings.batches {
+        let t_end = settings.warmup + (batch + 1) as f64 * batch_len;
+        sim.run_until(t_end);
+
+        let mut busy = 0.0;
+        let mut fired = 0u64;
+        for &t in &exec {
+            busy += sim.mean_busy(t, t_end);
+            fired += sim.firings(t);
+        }
+        bm_u_p.push_batch(busy / p as f64 * useful_fraction);
+        bm_lambda.push_batch(fired as f64 / p as f64 / batch_len);
+
+        let shared = std::mem::take(&mut *tallies.borrow_mut());
+        bm_net.push_batch(shared.remote_sent as f64 / p as f64 / batch_len);
+        if shared.s_obs.count() > 0 {
+            bm_s_obs.push_batch(shared.s_obs.mean());
+        }
+        if shared.l_obs.count() > 0 {
+            bm_l_obs.push_batch(shared.l_obs.mean());
+        }
+        s_samples += shared.s_obs.count();
+        l_samples += shared.l_obs.count();
+
+        sim.reset_stats();
+    }
+
+    SimResult {
+        u_p: Estimate::from_batches(&bm_u_p),
+        lambda_proc: Estimate::from_batches(&bm_lambda),
+        lambda_net: Estimate::from_batches(&bm_net),
+        s_obs: Estimate::from_batches(&bm_s_obs),
+        l_obs: Estimate::from_batches(&bm_l_obs),
+        s_obs_samples: s_samples,
+        l_obs_samples: l_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_core::prelude::*;
+
+    fn settings(horizon: f64, seed: u64) -> SimSettings {
+        SimSettings {
+            horizon,
+            warmup: horizon / 10.0,
+            batches: 5,
+            seed,
+            ..SimSettings::default()
+        }
+    }
+
+    #[test]
+    fn local_only_matches_two_station_theory() {
+        // p_remote = 0: each node is an independent closed cycle
+        // (processor R=1, memory L=1, n_t=8): U_p = n/(n+1) = 8/9.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.0);
+        let res = simulate(&cfg, &settings(50_000.0, 1));
+        assert!(
+            (res.u_p.mean - 8.0 / 9.0).abs() < 0.01,
+            "U_p = {:?}",
+            res.u_p
+        );
+        assert_eq!(res.s_obs_samples, 0, "no network traffic");
+    }
+
+    #[test]
+    fn matches_analytical_model_at_paper_default() {
+        let cfg = SystemConfig::paper_default();
+        let res = simulate(&cfg, &settings(60_000.0, 2));
+        let model = solve(&cfg).unwrap();
+        let rel = (res.u_p.mean - model.u_p).abs() / model.u_p;
+        assert!(
+            rel < 0.05,
+            "sim U_p {} vs model {} (rel {rel})",
+            res.u_p.mean,
+            model.u_p
+        );
+        let rel_net = (res.lambda_net.mean - model.lambda_net).abs() / model.lambda_net;
+        assert!(
+            rel_net < 0.05,
+            "λ_net sim {} vs model {}",
+            res.lambda_net.mean,
+            model.lambda_net
+        );
+    }
+
+    #[test]
+    fn s_obs_close_to_model() {
+        // The paper reports S_obs simulation-model agreement within ~5%.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let res = simulate(&cfg, &settings(60_000.0, 3));
+        let model = solve(&cfg).unwrap();
+        let rel = (res.s_obs.mean - model.s_obs).abs() / model.s_obs;
+        assert!(
+            rel < 0.10,
+            "S_obs sim {} vs model {} (rel {rel})",
+            res.s_obs.mean,
+            model.s_obs
+        );
+    }
+
+    #[test]
+    fn lambda_relation_holds_in_simulation() {
+        // λ_net ≈ p_remote · λ_proc and U_p ≈ λ_proc · R.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.3);
+        let res = simulate(&cfg, &settings(40_000.0, 4));
+        assert!(
+            (res.lambda_net.mean - 0.3 * res.lambda_proc.mean).abs() < 0.02 * res.lambda_proc.mean
+        );
+        assert!((res.u_p.mean - res.lambda_proc.mean).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_memory_shifts_results_mildly() {
+        // Section 8: switching L to deterministic moves S_obs by < ~10%.
+        let cfg = SystemConfig::paper_default().with_p_remote(0.5);
+        let exp = simulate(&cfg, &settings(50_000.0, 5));
+        let det = simulate(
+            &cfg,
+            &SimSettings {
+                memory_dist: DistKind::Deterministic,
+                ..settings(50_000.0, 5)
+            },
+        );
+        let rel = (det.s_obs.mean - exp.s_obs.mean).abs() / exp.s_obs.mean;
+        assert!(rel < 0.12, "deterministic-L shift {rel}");
+        // Less variable memory service can only help utilization.
+        assert!(det.u_p.mean >= exp.u_p.mean - 0.02);
+    }
+
+    #[test]
+    fn confidence_intervals_are_finite_and_small() {
+        let cfg = SystemConfig::paper_default();
+        let res = simulate(&cfg, &settings(50_000.0, 6));
+        assert!(res.u_p.ci > 0.0 && res.u_p.ci < 0.05, "ci = {}", res.u_p.ci);
+    }
+
+    #[test]
+    fn reproducible_across_identical_seeds() {
+        let cfg = SystemConfig::paper_default();
+        let a = simulate(&cfg, &settings(5_000.0, 77));
+        let b = simulate(&cfg, &settings(5_000.0, 77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn context_switch_overhead_reduces_useful_utilization() {
+        let base = SystemConfig::paper_default().with_p_remote(0.0);
+        let mut with_cs = base.clone();
+        with_cs.workload.context_switch = 0.5;
+        let a = simulate(&base, &settings(30_000.0, 8));
+        let b = simulate(&with_cs, &settings(30_000.0, 8));
+        assert!(b.u_p.mean < a.u_p.mean, "{} !< {}", b.u_p.mean, a.u_p.mean);
+    }
+}

@@ -1,0 +1,298 @@
+//! Net structure: places, transitions, arcs, output functions.
+//!
+//! The net is *colored*: tokens carry a payload of type `C`, and a
+//! transition's output function receives the consumed tokens (plus the
+//! current time and the simulation's random stream) and decides where the
+//! produced tokens go. Structural arcs therefore describe only the *input*
+//! side; the output side is dynamic, which is the standard way to keep
+//! queueing-network-shaped nets linear in the machine size.
+
+use lt_desim::{ServiceDist, SimRng, Time};
+
+/// Index of a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) usize);
+
+/// Index of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(pub(crate) usize);
+
+impl PlaceId {
+    /// Raw index (stable; places are numbered in creation order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl TransitionId {
+    /// Raw index (stable; transitions are numbered in creation order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Firing policy of a transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Firing {
+    /// Fires in zero time; conflicts among simultaneously enabled immediate
+    /// transitions are resolved by relative `weight`.
+    Immediate {
+        /// Relative conflict-resolution weight (`> 0`).
+        weight: f64,
+    },
+    /// Fires after a sampled delay; at most `servers` firings in progress
+    /// concurrently (`usize::MAX` for infinite-server semantics).
+    Timed {
+        /// Firing-delay distribution.
+        dist: ServiceDist,
+        /// Degree of service parallelism.
+        servers: usize,
+    },
+}
+
+/// Where produced tokens go: `(place, token)` pairs.
+pub type Output<C> = Vec<(PlaceId, C)>;
+
+/// The output function of a transition: consumes the claimed input tokens
+/// (one from the head of each input place, in input order) and produces
+/// tokens. It may use the random stream for probabilistic routing and the
+/// clock for time-stamping colors.
+pub type OutputFn<C> = Box<dyn FnMut(&mut SimRng, Time, Vec<C>) -> Output<C>>;
+
+pub(crate) struct Place {
+    pub name: String,
+}
+
+pub(crate) struct Transition<C> {
+    pub name: String,
+    pub firing: Firing,
+    pub inputs: Vec<PlaceId>,
+    /// Inhibitor arcs: the transition is enabled only while each of these
+    /// places is empty.
+    pub inhibitors: Vec<PlaceId>,
+    pub output: OutputFn<C>,
+}
+
+/// An immutable net, produced by [`NetBuilder::build`].
+pub struct PetriNet<C> {
+    pub(crate) places: Vec<Place>,
+    pub(crate) transitions: Vec<Transition<C>>,
+    /// `downstream[place]` = transitions with that place among inputs.
+    pub(crate) downstream: Vec<Vec<TransitionId>>,
+    /// `inhibit_watchers[place]` = transitions inhibited by that place
+    /// (they may enable when it empties).
+    pub(crate) inhibit_watchers: Vec<Vec<TransitionId>>,
+    pub(crate) immediates: Vec<TransitionId>,
+}
+
+impl<C> PetriNet<C> {
+    /// Number of places.
+    pub fn n_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn n_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Name of a place.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.places[p.0].name
+    }
+
+    /// Name of a transition.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.transitions[t.0].name
+    }
+}
+
+/// Incremental net construction.
+pub struct NetBuilder<C> {
+    places: Vec<Place>,
+    transitions: Vec<Transition<C>>,
+}
+
+impl<C> Default for NetBuilder<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> NetBuilder<C> {
+    /// An empty net.
+    pub fn new() -> Self {
+        NetBuilder {
+            places: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Add a place.
+    pub fn place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.places.push(Place { name: name.into() });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Add a transition consuming one token from the head of each place in
+    /// `inputs` per firing.
+    pub fn transition(
+        &mut self,
+        name: impl Into<String>,
+        firing: Firing,
+        inputs: Vec<PlaceId>,
+        output: OutputFn<C>,
+    ) -> TransitionId {
+        self.transition_inhibited(name, firing, inputs, Vec::new(), output)
+    }
+
+    /// [`NetBuilder::transition`] with inhibitor arcs: the transition is
+    /// enabled only while every place in `inhibitors` is empty.
+    pub fn transition_inhibited(
+        &mut self,
+        name: impl Into<String>,
+        firing: Firing,
+        inputs: Vec<PlaceId>,
+        inhibitors: Vec<PlaceId>,
+        output: OutputFn<C>,
+    ) -> TransitionId {
+        assert!(!inputs.is_empty(), "a transition needs at least one input");
+        for p in inputs.iter().chain(&inhibitors) {
+            assert!(p.0 < self.places.len(), "place out of range");
+        }
+        if let Firing::Immediate { weight } = firing {
+            assert!(weight > 0.0, "immediate weight must be positive");
+        }
+        if let Firing::Timed { servers, .. } = firing {
+            assert!(servers >= 1, "a timed transition needs >= 1 server");
+        }
+        self.transitions.push(Transition {
+            name: name.into(),
+            firing,
+            inputs,
+            inhibitors,
+            output,
+        });
+        TransitionId(self.transitions.len() - 1)
+    }
+
+    /// Convenience: a single-server timed transition with one input.
+    pub fn timed(
+        &mut self,
+        name: impl Into<String>,
+        input: PlaceId,
+        dist: ServiceDist,
+        output: OutputFn<C>,
+    ) -> TransitionId {
+        self.transition(
+            name,
+            Firing::Timed { dist, servers: 1 },
+            vec![input],
+            output,
+        )
+    }
+
+    /// Finalize the net.
+    pub fn build(self) -> PetriNet<C> {
+        let mut downstream = vec![Vec::new(); self.places.len()];
+        let mut inhibit_watchers = vec![Vec::new(); self.places.len()];
+        let mut immediates = Vec::new();
+        for (i, t) in self.transitions.iter().enumerate() {
+            for p in &t.inputs {
+                downstream[p.0].push(TransitionId(i));
+            }
+            for p in &t.inhibitors {
+                inhibit_watchers[p.0].push(TransitionId(i));
+            }
+            if matches!(t.firing, Firing::Immediate { .. }) {
+                immediates.push(TransitionId(i));
+            }
+        }
+        for d in &mut downstream {
+            d.dedup();
+        }
+        for d in &mut inhibit_watchers {
+            d.dedup();
+        }
+        PetriNet {
+            places: self.places,
+            transitions: self.transitions,
+            downstream,
+            inhibit_watchers,
+            immediates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b: NetBuilder<u32> = NetBuilder::new();
+        let p0 = b.place("p0");
+        let p1 = b.place("p1");
+        assert_eq!(p0.index(), 0);
+        assert_eq!(p1.index(), 1);
+        let t = b.timed(
+            "t",
+            p0,
+            ServiceDist::Deterministic { value: 1.0 },
+            Box::new(move |_, _, toks| toks.into_iter().map(|c| (p1, c)).collect()),
+        );
+        assert_eq!(t.index(), 0);
+        let net = b.build();
+        assert_eq!(net.n_places(), 2);
+        assert_eq!(net.n_transitions(), 1);
+        assert_eq!(net.place_name(p0), "p0");
+        assert_eq!(net.transition_name(t), "t");
+        assert_eq!(net.downstream[0], vec![t]);
+        assert!(net.downstream[1].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn rejects_inputless_transition() {
+        let mut b: NetBuilder<u32> = NetBuilder::new();
+        b.transition(
+            "bad",
+            Firing::Immediate { weight: 1.0 },
+            vec![],
+            Box::new(|_, _, _| vec![]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn rejects_zero_weight() {
+        let mut b: NetBuilder<u32> = NetBuilder::new();
+        let p = b.place("p");
+        b.transition(
+            "bad",
+            Firing::Immediate { weight: 0.0 },
+            vec![p],
+            Box::new(|_, _, _| vec![]),
+        );
+    }
+
+    #[test]
+    fn immediate_list_collected() {
+        let mut b: NetBuilder<u32> = NetBuilder::new();
+        let p = b.place("p");
+        let t0 = b.transition(
+            "imm",
+            Firing::Immediate { weight: 2.0 },
+            vec![p],
+            Box::new(|_, _, _| vec![]),
+        );
+        let _t1 = b.timed(
+            "timed",
+            p,
+            ServiceDist::Exponential { mean: 1.0 },
+            Box::new(|_, _, _| vec![]),
+        );
+        let net = b.build();
+        assert_eq!(net.immediates, vec![t0]);
+    }
+}

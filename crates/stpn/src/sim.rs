@@ -1,0 +1,581 @@
+//! The STPN execution engine.
+//!
+//! Semantics:
+//!
+//! * A **timed** transition with a free server and one token at the head of
+//!   every input place *claims* those tokens, samples a firing delay, and
+//!   completes after it (enabling memory / age memory is irrelevant here
+//!   because claims are never revoked).
+//! * **Immediate** transitions fire in zero time; when several are enabled
+//!   simultaneously, one is chosen with probability proportional to its
+//!   weight, and the process repeats until quiescence (a vanishing-marking
+//!   elimination done operationally).
+//! * Ties in time are resolved in scheduling order (see
+//!   [`lt_desim::EventQueue`]), so a run is a pure function of the seed.
+//!
+//! Statistics: per-place token-count integrals, per-transition firing
+//! counts and busy-server integrals, all resettable for warm-up truncation.
+
+use crate::net::{Firing, PetriNet, PlaceId, TransitionId};
+use lt_desim::{EventQueue, SimRng, Time, TimeWeighted};
+use std::collections::VecDeque;
+
+struct Completion<C> {
+    transition: usize,
+    tokens: Vec<C>,
+}
+
+/// A running simulation of a [`PetriNet`].
+pub struct StpnSim<C> {
+    net: PetriNet<C>,
+    rng: SimRng,
+    queues: Vec<VecDeque<C>>,
+    busy: Vec<usize>,
+    events: EventQueue<Completion<C>>,
+    dirty: Vec<usize>,
+    dirty_flag: Vec<bool>,
+    // statistics
+    occupancy: Vec<TimeWeighted>,
+    busy_tw: Vec<TimeWeighted>,
+    fire_count: Vec<u64>,
+    stats_start: Time,
+}
+
+/// Cap on immediate firings between two timed events; exceeding it means
+/// the net has a vanishing-marking livelock.
+const IMMEDIATE_BUDGET: usize = 1_000_000;
+
+impl<C> StpnSim<C> {
+    /// Create a simulation with an empty marking.
+    pub fn new(net: PetriNet<C>, seed: u64) -> Self {
+        let np = net.n_places();
+        let nt = net.n_transitions();
+        StpnSim {
+            net,
+            rng: SimRng::new(seed),
+            queues: (0..np).map(|_| VecDeque::new()).collect(),
+            busy: vec![0; nt],
+            events: EventQueue::new(),
+            dirty: Vec::new(),
+            dirty_flag: vec![false; nt],
+            occupancy: (0..np).map(|_| TimeWeighted::new(0.0, 0.0)).collect(),
+            busy_tw: (0..nt).map(|_| TimeWeighted::new(0.0, 0.0)).collect(),
+            fire_count: vec![0; nt],
+            stats_start: 0.0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.events.now()
+    }
+
+    /// Deposit a token (part of the initial marking, or external arrival).
+    /// Call [`StpnSim::settle`] afterwards to let the net react.
+    pub fn deposit(&mut self, place: PlaceId, token: C) {
+        let now = self.now();
+        self.queues[place.0].push_back(token);
+        self.occupancy[place.0].add(now, 1.0);
+        for &t in &self.net.downstream[place.0] {
+            if !self.dirty_flag[t.0] {
+                self.dirty_flag[t.0] = true;
+                self.dirty.push(t.0);
+            }
+        }
+    }
+
+    /// Number of tokens currently waiting in a place (claimed tokens are in
+    /// service, not waiting).
+    pub fn tokens_in(&self, place: PlaceId) -> usize {
+        self.queues[place.0].len()
+    }
+
+    /// Fire immediate transitions and start timed firings until nothing
+    /// more can happen at the current instant.
+    pub fn settle(&mut self) {
+        let mut budget = IMMEDIATE_BUDGET;
+        loop {
+            let fired_imm = self.fire_one_immediate();
+            if fired_imm {
+                budget -= 1;
+                assert!(budget > 0, "immediate-transition livelock");
+                continue;
+            }
+            if !self.start_timed() {
+                break;
+            }
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        let tr = &self.net.transitions[t];
+        tr.inputs.iter().all(|p| !self.queues[p.0].is_empty())
+            && tr.inhibitors.iter().all(|p| self.queues[p.0].is_empty())
+    }
+
+    fn claim_inputs(&mut self, t: usize) -> Vec<C> {
+        let now = self.now();
+        let inputs = self.net.transitions[t].inputs.clone();
+        let tokens: Vec<C> = inputs
+            .iter()
+            .map(|p| {
+                self.occupancy[p.0].add(now, -1.0);
+                self.queues[p.0].pop_front().expect("enabled implies token")
+            })
+            .collect();
+        // A place that just emptied may release inhibited transitions.
+        for p in &inputs {
+            if self.queues[p.0].is_empty() {
+                for &watcher in &self.net.inhibit_watchers[p.0] {
+                    if !self.dirty_flag[watcher.0] {
+                        self.dirty_flag[watcher.0] = true;
+                        self.dirty.push(watcher.0);
+                    }
+                }
+            }
+        }
+        tokens
+    }
+
+    /// Fire at most one enabled immediate transition (weighted choice among
+    /// the enabled set). Returns whether one fired.
+    fn fire_one_immediate(&mut self) -> bool {
+        let enabled: Vec<usize> = self
+            .net
+            .immediates
+            .iter()
+            .map(|t| t.0)
+            .filter(|&t| self.enabled(t))
+            .collect();
+        if enabled.is_empty() {
+            return false;
+        }
+        let chosen = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            let weights: Vec<f64> = enabled
+                .iter()
+                .map(|&t| match self.net.transitions[t].firing {
+                    Firing::Immediate { weight } => weight,
+                    Firing::Timed { .. } => unreachable!(),
+                })
+                .collect();
+            enabled[self.rng.choose_weighted(&weights)]
+        };
+        let tokens = self.claim_inputs(chosen);
+        let now = self.now();
+        self.fire_count[chosen] += 1;
+        let out = (self.net.transitions[chosen].output)(&mut self.rng, now, tokens);
+        for (p, c) in out {
+            self.deposit(p, c);
+        }
+        true
+    }
+
+    /// Start every timed firing currently possible (dirty transitions
+    /// only). Returns whether any started.
+    fn start_timed(&mut self) -> bool {
+        let mut started = false;
+        while let Some(t) = self.dirty.pop() {
+            self.dirty_flag[t] = false;
+            let Firing::Timed { dist, servers } = self.net.transitions[t].firing else {
+                continue; // immediates handled separately
+            };
+            while self.busy[t] < servers && self.enabled(t) {
+                let tokens = self.claim_inputs(t);
+                let now = self.now();
+                self.busy[t] += 1;
+                self.busy_tw[t].add(now, 1.0);
+                let delay = self.rng.sample(&dist);
+                self.events.schedule_in(
+                    delay,
+                    Completion {
+                        transition: t,
+                        tokens,
+                    },
+                );
+                started = true;
+            }
+        }
+        started
+    }
+
+    /// Process the next completion event. Returns `false` when the calendar
+    /// is empty (the net is dead or fully idle).
+    pub fn step(&mut self) -> bool {
+        let Some((now, comp)) = self.events.pop() else {
+            return false;
+        };
+        let t = comp.transition;
+        self.busy[t] -= 1;
+        self.busy_tw[t].add(now, -1.0);
+        self.fire_count[t] += 1;
+        let out = (self.net.transitions[t].output)(&mut self.rng, now, comp.tokens);
+        for (p, c) in out {
+            self.deposit(p, c);
+        }
+        // The freed server may allow t to start again even if no place
+        // changed.
+        if !self.dirty_flag[t] {
+            self.dirty_flag[t] = true;
+            self.dirty.push(t);
+        }
+        self.settle();
+        true
+    }
+
+    /// Run until the clock reaches `t_end` (events strictly after `t_end`
+    /// stay pending).
+    pub fn run_until(&mut self, t_end: Time) {
+        while let Some(next) = self.events.peek_time() {
+            if next > t_end {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Discard accumulated statistics (warm-up truncation); the marking and
+    /// pending events are untouched.
+    pub fn reset_stats(&mut self) {
+        let now = self.now();
+        self.stats_start = now;
+        for tw in &mut self.occupancy {
+            tw.reset(now);
+        }
+        for tw in &mut self.busy_tw {
+            tw.reset(now);
+        }
+        for c in &mut self.fire_count {
+            *c = 0;
+        }
+    }
+
+    /// Time at which statistics collection (re)started.
+    pub fn stats_start(&self) -> Time {
+        self.stats_start
+    }
+
+    /// Firings of `t` since the last stats reset.
+    pub fn firings(&self, t: TransitionId) -> u64 {
+        self.fire_count[t.0]
+    }
+
+    /// Throughput of `t` over `[stats_start, at]`.
+    pub fn throughput(&self, t: TransitionId, at: Time) -> f64 {
+        let elapsed = at - self.stats_start;
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.fire_count[t.0] as f64 / elapsed
+        }
+    }
+
+    /// Mean number of busy servers of `t` over `[stats_start, at]`
+    /// (for a single-server transition this is its utilization).
+    pub fn mean_busy(&self, t: TransitionId, at: Time) -> f64 {
+        self.busy_tw[t.0].mean(at)
+    }
+
+    /// Mean number of *waiting* tokens in `p` over `[stats_start, at]`.
+    pub fn mean_tokens(&self, p: PlaceId, at: Time) -> f64 {
+        self.occupancy[p.0].mean(at)
+    }
+
+    /// Mutable access to the random stream (for external arrivals etc.).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+    use lt_desim::ServiceDist;
+
+    /// A closed two-place cycle: tokens alternate between `a` (service 1)
+    /// and `b` (service 2) — the machine-repairman shape.
+    fn cycle_net() -> (PetriNet<u32>, PlaceId, PlaceId, TransitionId, TransitionId) {
+        let mut b: NetBuilder<u32> = NetBuilder::new();
+        let pa = b.place("a");
+        let pb = b.place("b");
+        let ta = b.timed(
+            "serve-a",
+            pa,
+            ServiceDist::Exponential { mean: 1.0 },
+            Box::new(move |_, _, toks| toks.into_iter().map(|c| (pb, c)).collect()),
+        );
+        let tb = b.timed(
+            "serve-b",
+            pb,
+            ServiceDist::Exponential { mean: 2.0 },
+            Box::new(move |_, _, toks| toks.into_iter().map(|c| (pa, c)).collect()),
+        );
+        (b.build(), pa, pb, ta, tb)
+    }
+
+    #[test]
+    fn conserves_tokens_in_closed_net() {
+        let (net, pa, pb, _, _) = cycle_net();
+        let mut sim = StpnSim::new(net, 1);
+        for i in 0..5 {
+            sim.deposit(pa, i);
+        }
+        sim.settle();
+        sim.run_until(500.0);
+        // Tokens are either waiting or in service; after the horizon the
+        // waiting + busy counts must equal 5.
+        let waiting = sim.tokens_in(pa) + sim.tokens_in(pb);
+        let busy: usize = sim.busy.iter().sum();
+        assert_eq!(waiting + busy, 5);
+    }
+
+    #[test]
+    fn single_token_throughput_matches_cycle_time() {
+        // One token: cycle time = 1 + 2, each transition fires at rate 1/3.
+        let (net, pa, _, ta, tb) = cycle_net();
+        let mut sim = StpnSim::new(net, 7);
+        sim.deposit(pa, 0);
+        sim.settle();
+        let horizon = 200_000.0;
+        sim.run_until(horizon);
+        let xa = sim.throughput(ta, horizon);
+        let xb = sim.throughput(tb, horizon);
+        assert!((xa - 1.0 / 3.0).abs() < 0.01, "xa = {xa}");
+        assert!((xb - 1.0 / 3.0).abs() < 0.01, "xb = {xb}");
+        // Utilizations: 1/3 and 2/3.
+        assert!((sim.mean_busy(ta, horizon) - 1.0 / 3.0).abs() < 0.01);
+        assert!((sim.mean_busy(tb, horizon) - 2.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn matches_exact_mva_for_closed_cycle() {
+        // 4 tokens, demands 1 and 2: exact MVA gives the throughput; the
+        // STPN simulation of the same system must agree.
+        let (net, pa, _, ta, _) = cycle_net();
+        let mut sim = StpnSim::new(net, 42);
+        for i in 0..4 {
+            sim.deposit(pa, i);
+        }
+        sim.settle();
+        sim.run_until(10_000.0);
+        sim.reset_stats();
+        let horizon = 400_000.0;
+        sim.run_until(horizon);
+        let x = sim.throughput(ta, horizon);
+        // Exact MVA hand-recursion for demands (1,2), N=4:
+        let mut q = [0.0f64; 2];
+        let mut xe = 0.0;
+        for n in 1..=4 {
+            let w = [1.0 * (1.0 + q[0]), 2.0 * (1.0 + q[1])];
+            xe = n as f64 / (w[0] + w[1]);
+            q = [xe * w[0], xe * w[1]];
+        }
+        assert!((x - xe).abs() / xe < 0.02, "sim {x} vs exact {xe}");
+    }
+
+    #[test]
+    fn immediate_weights_split_probabilistically() {
+        // source -(timed)-> split place; two immediate transitions with
+        // weights 1 and 3 route to two sinks.
+        let mut b: NetBuilder<u32> = NetBuilder::new();
+        let src = b.place("src");
+        let mid = b.place("mid");
+        let sink1 = b.place("s1");
+        let sink3 = b.place("s3");
+        b.timed(
+            "gen",
+            src,
+            ServiceDist::Deterministic { value: 1.0 },
+            Box::new(move |_, _, toks| toks.into_iter().map(|c| (mid, c)).collect()),
+        );
+        let t1 = b.transition(
+            "w1",
+            Firing::Immediate { weight: 1.0 },
+            vec![mid],
+            Box::new(move |_, _, toks| toks.into_iter().map(|c| (sink1, c)).collect()),
+        );
+        let t3 = b.transition(
+            "w3",
+            Firing::Immediate { weight: 3.0 },
+            vec![mid],
+            Box::new(move |_, _, toks| toks.into_iter().map(|c| (sink3, c)).collect()),
+        );
+        let net = b.build();
+        let mut sim = StpnSim::new(net, 99);
+        for i in 0..20_000 {
+            sim.deposit(src, i);
+        }
+        sim.settle();
+        // Tokens flow one per time unit (single server); run long enough
+        // for all of them.
+        sim.run_until(25_000.0);
+        let n1 = sim.firings(t1) as f64;
+        let n3 = sim.firings(t3) as f64;
+        let frac = n3 / (n1 + n3);
+        assert!((frac - 0.75).abs() < 0.02, "weight-3 fraction {frac}");
+    }
+
+    #[test]
+    fn multi_server_transition_runs_concurrently() {
+        // 3 servers, deterministic service 1, 3 tokens: all done at t = 1.
+        let mut b: NetBuilder<u32> = NetBuilder::new();
+        let p = b.place("p");
+        let done = b.place("done");
+        let t = b.transition(
+            "multi",
+            Firing::Timed {
+                dist: ServiceDist::Deterministic { value: 1.0 },
+                servers: 3,
+            },
+            vec![p],
+            Box::new(move |_, _, toks| toks.into_iter().map(|c| (done, c)).collect()),
+        );
+        let net = b.build();
+        let mut sim = StpnSim::new(net, 5);
+        for i in 0..3 {
+            sim.deposit(p, i);
+        }
+        sim.settle();
+        sim.run_until(1.0);
+        assert_eq!(sim.firings(t), 3);
+        assert_eq!(sim.tokens_in(done), 3);
+        assert_eq!(sim.now(), 1.0);
+    }
+
+    #[test]
+    fn synchronization_transition_waits_for_both_inputs() {
+        // A fork-join: t consumes one token from each of two places.
+        let mut b: NetBuilder<&'static str> = NetBuilder::new();
+        let left = b.place("left");
+        let right = b.place("right");
+        let out = b.place("out");
+        let t = b.transition(
+            "join",
+            Firing::Timed {
+                dist: ServiceDist::Deterministic { value: 1.0 },
+                servers: 1,
+            },
+            vec![left, right],
+            Box::new(move |_, _, mut toks| {
+                assert_eq!(toks.len(), 2);
+                vec![(out, toks.swap_remove(0))]
+            }),
+        );
+        let net = b.build();
+        let mut sim = StpnSim::new(net, 1);
+        sim.deposit(left, "l");
+        sim.settle();
+        sim.run_until(10.0);
+        assert_eq!(sim.firings(t), 0, "join must wait for the right token");
+        sim.deposit(right, "r");
+        sim.settle();
+        sim.run_until(20.0);
+        assert_eq!(sim.firings(t), 1);
+        assert_eq!(sim.tokens_in(out), 1);
+    }
+
+    #[test]
+    fn inhibitor_blocks_until_place_empties() {
+        // The gate token sits in its place until a trigger arrives at
+        // t = 5 and an immediate `drain` consumes it; only then may `t`
+        // start (claims remove tokens, so the timing is sharp).
+        let mut b: NetBuilder<u8> = NetBuilder::new();
+        let input = b.place("input");
+        let gate = b.place("gate");
+        let trigger_src = b.place("trigger-src");
+        let trigger = b.place("trigger");
+        let out = b.place("out");
+        let sink = b.place("sink");
+        let t = b.transition_inhibited(
+            "t",
+            Firing::Timed {
+                dist: ServiceDist::Deterministic { value: 1.0 },
+                servers: 1,
+            },
+            vec![input],
+            vec![gate],
+            Box::new(move |_, _, mut toks| vec![(out, toks.pop().unwrap())]),
+        );
+        let _fire_trigger = b.timed(
+            "fire-trigger",
+            trigger_src,
+            ServiceDist::Deterministic { value: 5.0 },
+            Box::new(move |_, _, mut toks| vec![(trigger, toks.pop().unwrap())]),
+        );
+        let drain = b.transition(
+            "drain",
+            Firing::Immediate { weight: 1.0 },
+            vec![gate, trigger],
+            Box::new(move |_, _, mut toks| vec![(sink, toks.swap_remove(0))]),
+        );
+        let net = b.build();
+        let mut sim = StpnSim::new(net, 1);
+        sim.deposit(input, 1);
+        sim.deposit(gate, 2);
+        sim.deposit(trigger_src, 3);
+        sim.settle();
+        sim.run_until(4.0);
+        assert_eq!(sim.firings(t), 0, "t must be inhibited while gate holds");
+        sim.run_until(10.0);
+        assert_eq!(sim.firings(drain), 1);
+        assert_eq!(sim.firings(t), 1, "t fires after the gate empties");
+        assert_eq!(sim.tokens_in(out), 1);
+        assert_eq!(sim.now(), 6.0, "gate falls at 5, t completes at 6");
+    }
+
+    #[test]
+    fn inhibited_immediate_respects_gate() {
+        // An immediate transition gated by an inhibitor place must not
+        // fire during settle() while the gate is marked.
+        let mut b: NetBuilder<u8> = NetBuilder::new();
+        let input = b.place("input");
+        let gate = b.place("gate");
+        let out = b.place("out");
+        let t = b.transition_inhibited(
+            "imm",
+            Firing::Immediate { weight: 1.0 },
+            vec![input],
+            vec![gate],
+            Box::new(move |_, _, mut toks| vec![(out, toks.pop().unwrap())]),
+        );
+        let net = b.build();
+        let mut sim = StpnSim::new(net, 1);
+        sim.deposit(gate, 9);
+        sim.deposit(input, 1);
+        sim.settle();
+        assert_eq!(sim.firings(t), 0);
+        assert_eq!(sim.tokens_in(out), 0);
+    }
+
+    #[test]
+    fn reset_stats_truncates_warmup() {
+        let (net, pa, _, ta, _) = cycle_net();
+        let mut sim = StpnSim::new(net, 3);
+        sim.deposit(pa, 0);
+        sim.settle();
+        sim.run_until(100.0);
+        let before = sim.firings(ta);
+        assert!(before > 0);
+        sim.reset_stats();
+        assert_eq!(sim.firings(ta), 0);
+        assert_eq!(sim.stats_start(), sim.now());
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let (net, pa, _, ta, _) = cycle_net();
+            let mut sim = StpnSim::new(net, seed);
+            for i in 0..3 {
+                sim.deposit(pa, i);
+            }
+            sim.settle();
+            sim.run_until(1000.0);
+            (sim.firings(ta), sim.now())
+        };
+        assert_eq!(run(12), run(12));
+        assert_ne!(run(12).0, run(13).0);
+    }
+}

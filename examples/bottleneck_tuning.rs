@@ -1,0 +1,67 @@
+//! Using the tolerance index the way the paper's introduction proposes:
+//! as a *diagnostic* that tells an architect which subsystem to tune.
+//!
+//! We take three workloads, compute `tol_network` and `tol_memory`, and
+//! apply the paper's rule — a low tolerance marks the bottleneck — then
+//! verify the diagnosis by actually tuning that subsystem and watching
+//! `U_p` respond.
+//!
+//! ```text
+//! cargo run --release --example bottleneck_tuning
+//! ```
+
+use lt_core::prelude::*;
+
+fn diagnose(name: &str, cfg: &SystemConfig) {
+    let rep = solve(cfg).expect("solvable");
+    let tol_net = tolerance_index(cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
+    let tol_mem = tolerance_index(cfg, IdealSpec::ZeroMemoryDelay).expect("solvable");
+    println!("workload: {name}");
+    println!(
+        "  U_p = {:.3}   tol_network = {:.3} ({})   tol_memory = {:.3} ({})",
+        rep.u_p,
+        tol_net.index,
+        tol_net.zone.label(),
+        tol_mem.index,
+        tol_mem.zone.label()
+    );
+
+    // The paper's prescription: tune the subsystem with the lower
+    // tolerance; tuning the other one should barely move U_p.
+    let network_binds = tol_net.index < tol_mem.index;
+    let faster_network = cfg.with_switch_delay(cfg.arch.switch_delay / 2.0);
+    let faster_memory = cfg.with_memory_latency(cfg.arch.memory_latency / 2.0);
+    let gain_net = solve(&faster_network).expect("solvable").u_p - rep.u_p;
+    let gain_mem = solve(&faster_memory).expect("solvable").u_p - rep.u_p;
+    println!(
+        "  halving S gains {gain_net:+.3} U_p; halving L gains {gain_mem:+.3} U_p  \
+         -> tune the {}",
+        if network_binds { "network" } else { "memory" }
+    );
+    // The diagnosis and the experiment must agree.
+    assert_eq!(
+        network_binds,
+        gain_net >= gain_mem,
+        "tolerance ranking must predict the better tuning knob"
+    );
+    println!();
+}
+
+fn main() {
+    let base = SystemConfig::paper_default();
+
+    // 1. Communication-heavy: lots of remote traffic, short threads.
+    diagnose(
+        "communication-heavy (p_remote = 0.6, R = 1)",
+        &base.with_p_remote(0.6),
+    );
+
+    // 2. Memory-bound: slow local memory, little communication.
+    diagnose(
+        "memory-bound (L = 4, p_remote = 0.05)",
+        &base.with_memory_latency(4.0).with_p_remote(0.05),
+    );
+
+    // 3. Balanced: the paper's default.
+    diagnose("paper default (p_remote = 0.2, R = L = S = 1)", &base);
+}

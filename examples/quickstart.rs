@@ -1,0 +1,76 @@
+//! Quickstart: model the paper's default machine, read off the paper's
+//! measures, and ask the headline question — *is the latency tolerated?*
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lt_core::prelude::*;
+
+fn main() {
+    // The paper's default machine: a 4x4 torus of multithreaded
+    // processors, 8 threads each, runlength R = 1, memory latency L = 1,
+    // switch delay S = 1, 20% remote accesses with geometric locality 0.5.
+    let cfg = SystemConfig::paper_default();
+    cfg.validate().expect("valid configuration");
+
+    // Solve the closed queueing network (approximate MVA — the paper's
+    // Figure 3 algorithm, with the symmetric fast path).
+    let rep = solve(&cfg).expect("model solves");
+
+    println!(
+        "machine: {}x{} torus, n_t = {}, R = {}, p_remote = {}",
+        cfg.arch.topology.k(),
+        cfg.arch.topology.k(),
+        cfg.workload.n_threads,
+        cfg.workload.runlength,
+        cfg.workload.p_remote,
+    );
+    println!();
+    println!("processor utilization  U_p    = {:.3}", rep.u_p);
+    println!(
+        "access issue rate      λ_i    = {:.3} per cycle",
+        rep.lambda_proc
+    );
+    println!(
+        "network message rate   λ_net  = {:.3} per cycle",
+        rep.lambda_net
+    );
+    println!(
+        "observed net latency   S_obs  = {:.2} cycles (unloaded {:.2})",
+        rep.s_obs,
+        (rep.d_avg + 1.0) * cfg.arch.switch_delay,
+    );
+    println!(
+        "observed mem latency   L_obs  = {:.2} cycles (unloaded {:.2})",
+        rep.l_obs, cfg.arch.memory_latency,
+    );
+    println!();
+
+    // The paper's contribution: quantify how close this machine is to one
+    // whose network (or memory) has zero delay.
+    for spec in [IdealSpec::ZeroSwitchDelay, IdealSpec::ZeroMemoryDelay] {
+        let tol = tolerance_index(&cfg, spec).expect("ideal solves");
+        println!(
+            "tol_{:<8} = {:.3}  ({}; ideal U_p would be {:.3})",
+            spec.label(),
+            tol.index,
+            tol.zone.label(),
+            tol.u_p_ideal,
+        );
+    }
+
+    // And the closed-form sanity view (Equations 4 and 5).
+    let bn = lt_core::bottleneck::analyze(&cfg).expect("analyzable");
+    println!();
+    println!("bottleneck analysis:");
+    println!("  d_avg                 = {:.3} hops", bn.d_avg);
+    if let Some(sat) = bn.lambda_net_saturation {
+        println!("  λ_net saturation      = {sat:.3} (Eq. 4)");
+    }
+    if let Some(p) = bn.critical_p_remote {
+        println!("  critical p_remote     = {p:.3} (Eq. 5)");
+    }
+    println!("  binding subsystem     = {}", bn.binding);
+    println!("  U_p upper bound       = {:.3}", bn.u_p_upper_bound);
+}

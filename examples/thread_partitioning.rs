@@ -1,0 +1,64 @@
+//! The compiler's question (paper Section 5): a do-all loop exposes a
+//! fixed amount of computation per processor — how many iterations should
+//! be grouped into each thread?
+//!
+//! Grouping trades thread count `n_t` against granularity `R` at constant
+//! `n_t · R`. This example sweeps the partitionings of a loop and ranks
+//! them by the tolerance index, reproducing the paper's guidance: *prefer
+//! few, long threads (n_t > 1) over many short ones*.
+//!
+//! ```text
+//! cargo run --release --example thread_partitioning
+//! ```
+
+use lt_core::prelude::*;
+
+fn main() {
+    // 16 iterations of unit work per processor, to be grouped.
+    let total_work = 16usize;
+    let p_remote = 0.4;
+    println!("partitioning {total_work} units of work per processor, p_remote = {p_remote}\n");
+    println!(
+        "{:>5} {:>5}   {:>7} {:>7} {:>8} {:>12}  zone",
+        "n_t", "R", "U_p", "S_obs", "L_obs", "tol_network"
+    );
+
+    let mut best: Option<(usize, usize, f64)> = None;
+    for n_t in 1..=total_work {
+        if total_work % n_t != 0 {
+            continue;
+        }
+        let r = total_work / n_t;
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(p_remote)
+            .with_n_threads(n_t)
+            .with_runlength(r as f64);
+        let rep = solve(&cfg).expect("solvable");
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
+        println!(
+            "{:>5} {:>5}   {:>7.3} {:>7.2} {:>8.2} {:>12.3}  {}",
+            n_t,
+            r,
+            rep.u_p,
+            rep.s_obs,
+            rep.l_obs,
+            tol.index,
+            tol.zone.label()
+        );
+        // Rank by utilization, break ties toward better tolerance.
+        if best.map_or(true, |(_, _, u)| rep.u_p > u) {
+            best = Some((n_t, r, rep.u_p));
+        }
+    }
+
+    let (n_t, r, u_p) = best.expect("at least one partitioning");
+    println!(
+        "\nbest partitioning: n_t = {n_t}, R = {r} (U_p = {u_p:.3}) — \
+         the paper's conclusion: coalesce to few, coarse threads, but keep n_t > 1."
+    );
+    assert!(n_t > 1, "multithreading must win over a single thread");
+    assert!(
+        n_t < total_work,
+        "coarsening must win over maximal splitting"
+    );
+}

@@ -1,0 +1,29 @@
+//! # latency-tolerance
+//!
+//! A reproduction of *Latency Tolerance: A Metric for Performance Analysis
+//! of Multithreaded Architectures* (Nemawarkar & Gao, IPPS 1997).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] ([`lt_core`]) — the analytical framework: the closed
+//!   queueing-network model of the multithreaded multiprocessor, MVA
+//!   solvers, and the **tolerance index** metric.
+//! * [`desim`] ([`lt_desim`]) — the discrete-event simulation kernel.
+//! * [`stpn`] ([`lt_stpn`]) — the colored stochastic timed Petri net
+//!   library and the paper's validation model (Section 8).
+//! * [`qnsim`] ([`lt_qnsim`]) — a direct discrete-event simulator of the
+//!   machine, including extensions (local-priority memory, multi-port
+//!   memory).
+//! * [`experiments`] ([`lt_experiments`]) — regeneration of every table and
+//!   figure in the paper's evaluation.
+//!
+//! See the `examples/` directory for runnable walkthroughs, and
+//! `EXPERIMENTS.md` for paper-vs-measured comparisons.
+
+pub use lt_core as core;
+pub use lt_desim as desim;
+pub use lt_experiments as experiments;
+pub use lt_qnsim as qnsim;
+pub use lt_stpn as stpn;
+
+pub use lt_core::prelude;

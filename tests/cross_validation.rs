@@ -1,0 +1,154 @@
+//! Cross-crate integration: the analytical model (`lt-core`), the STPN
+//! simulator (`lt-stpn`), and the direct simulator (`lt-qnsim`) describe
+//! the *same machine* through three independent code paths — here they are
+//! held to agree with each other across the parameter space.
+
+use lt_core::prelude::*;
+use lt_core::topology::Topology;
+use lt_qnsim::MmsOptions;
+use lt_stpn::mms::SimSettings;
+
+fn stpn_settings(horizon: f64, seed: u64) -> SimSettings {
+    SimSettings {
+        horizon,
+        warmup: horizon / 10.0,
+        batches: 5,
+        seed,
+        ..SimSettings::default()
+    }
+}
+
+fn qnsim_opts(horizon: f64, seed: u64) -> MmsOptions {
+    MmsOptions {
+        horizon,
+        warmup: horizon / 10.0,
+        batches: 5,
+        seed,
+        ..MmsOptions::default()
+    }
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+#[test]
+fn three_way_agreement_across_workloads() {
+    let base = SystemConfig::paper_default();
+    let cases = [
+        base.with_p_remote(0.1),
+        base.with_p_remote(0.5),
+        base.with_p_remote(0.8).with_n_threads(4),
+        base.with_runlength(2.0).with_p_remote(0.4),
+        base.with_memory_latency(2.0),
+        base.with_pattern(AccessPattern::Uniform).with_p_remote(0.3),
+    ];
+    for (i, cfg) in cases.iter().enumerate() {
+        let model = solve(cfg).unwrap();
+        let stpn = lt_stpn::mms::simulate(cfg, &stpn_settings(40_000.0, 100 + i as u64));
+        let direct = lt_qnsim::simulate(cfg, &qnsim_opts(40_000.0, 200 + i as u64));
+        assert!(
+            rel(model.u_p, stpn.u_p.mean) < 0.06,
+            "case {i}: U_p model {} vs stpn {}",
+            model.u_p,
+            stpn.u_p.mean
+        );
+        assert!(
+            rel(model.u_p, direct.u_p.mean) < 0.06,
+            "case {i}: U_p model {} vs direct {}",
+            model.u_p,
+            direct.u_p.mean
+        );
+        assert!(
+            rel(stpn.u_p.mean, direct.u_p.mean) < 0.05,
+            "case {i}: U_p stpn {} vs direct {}",
+            stpn.u_p.mean,
+            direct.u_p.mean
+        );
+        if cfg.workload.p_remote > 0.0 {
+            assert!(
+                rel(model.lambda_net, stpn.lambda_net.mean) < 0.06,
+                "case {i}: λ_net model {} vs stpn {}",
+                model.lambda_net,
+                stpn.lambda_net.mean
+            );
+        }
+    }
+}
+
+#[test]
+fn agreement_on_small_torus_with_exact_solver() {
+    // On a 2x2 torus with 3 threads the exact MVA is cheap; simulation,
+    // exact analysis, and both approximations must all line up.
+    let cfg = SystemConfig::paper_default()
+        .with_topology(Topology::torus(2))
+        .with_n_threads(3)
+        .with_p_remote(0.5);
+    let exact = solve_with(&cfg, SolverChoice::Exact).unwrap();
+    let stpn = lt_stpn::mms::simulate(&cfg, &stpn_settings(60_000.0, 11));
+    assert!(
+        rel(exact.u_p, stpn.u_p.mean) < 0.03,
+        "exact {} vs simulation {}",
+        exact.u_p,
+        stpn.u_p.mean
+    );
+}
+
+#[test]
+fn latency_measures_agree_between_simulators() {
+    let cfg = SystemConfig::paper_default()
+        .with_p_remote(0.5)
+        .with_n_threads(8);
+    let stpn = lt_stpn::mms::simulate(&cfg, &stpn_settings(40_000.0, 21));
+    let direct = lt_qnsim::simulate(&cfg, &qnsim_opts(40_000.0, 22));
+    assert!(rel(stpn.s_obs.mean, direct.s_obs.mean) < 0.06);
+    assert!(rel(stpn.l_obs.mean, direct.l_obs.mean) < 0.06);
+}
+
+#[test]
+fn model_tracks_simulation_under_context_switch_overhead() {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.workload.context_switch = 0.5;
+    let model = solve(&cfg).unwrap();
+    let stpn = lt_stpn::mms::simulate(&cfg, &stpn_settings(40_000.0, 31));
+    assert!(
+        rel(model.u_p, stpn.u_p.mean) < 0.06,
+        "U_p with C > 0: model {} vs stpn {}",
+        model.u_p,
+        stpn.u_p.mean
+    );
+    // Useful utilization must be scaled by R/(R+C) in both paths:
+    // with R = 1, C = 0.5, U_p can never exceed 2/3.
+    assert!(model.u_p <= 2.0 / 3.0 + 1e-9);
+    assert!(stpn.u_p.mean <= 2.0 / 3.0 + 0.02);
+}
+
+#[test]
+fn multiport_model_tracks_exact_multiserver_simulation() {
+    let cfg = SystemConfig::paper_default()
+        .with_memory_latency(2.0)
+        .with_memory_ports(2);
+    let model = solve(&cfg).unwrap();
+    let direct = lt_qnsim::simulate(&cfg, &qnsim_opts(40_000.0, 41));
+    assert!(
+        rel(model.u_p, direct.u_p.mean) < 0.08,
+        "Seidmann {} vs exact multiserver {}",
+        model.u_p,
+        direct.u_p.mean
+    );
+}
+
+#[test]
+fn mesh_extension_agrees_between_model_and_simulation() {
+    let cfg = SystemConfig::paper_default()
+        .with_topology(Topology::mesh(3))
+        .with_p_remote(0.4);
+    let model = solve(&cfg).unwrap(); // general AMVA (mesh is asymmetric)
+    let stpn = lt_stpn::mms::simulate(&cfg, &stpn_settings(40_000.0, 51));
+    assert!(
+        rel(model.u_p, stpn.u_p.mean) < 0.06,
+        "mesh: model {} vs stpn {}",
+        model.u_p,
+        stpn.u_p.mean
+    );
+}

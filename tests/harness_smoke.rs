@@ -1,0 +1,67 @@
+//! Smoke test: every registered experiment runs end-to-end in quick mode
+//! and produces non-trivial output plus its CSV artifacts.
+
+use lt_experiments::{registry, Ctx};
+
+#[test]
+fn every_experiment_runs_and_writes_artifacts() {
+    let dir = std::env::temp_dir().join("lt-harness-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctx = Ctx {
+        out_dir: dir.clone(),
+        quick: true,
+    };
+    for e in registry() {
+        let report = (e.run)(&ctx);
+        assert!(
+            report.len() > 100,
+            "{}: suspiciously short report ({} bytes)",
+            e.id,
+            report.len()
+        );
+        assert!(
+            report.contains("[csv:"),
+            "{}: no CSV artifact recorded",
+            e.id
+        );
+    }
+    // The directory must now contain one CSV per save_csv call (at least
+    // one per experiment).
+    let csvs = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "csv")
+        })
+        .count();
+    assert!(csvs >= registry().len(), "only {csvs} CSV files written");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn csv_artifacts_are_well_formed() {
+    let dir = std::env::temp_dir().join("lt-harness-csv");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctx = Ctx {
+        out_dir: dir.clone(),
+        quick: true,
+    };
+    // Run a representative experiment and parse its CSV.
+    let e = lt_experiments::find("fig9").unwrap();
+    let _ = (e.run)(&ctx);
+    let content = std::fs::read_to_string(dir.join("fig9.csv")).unwrap();
+    let mut lines = content.lines();
+    let header = lines.next().unwrap();
+    let cols = header.split(',').count();
+    assert!(cols >= 5, "header: {header}");
+    let mut rows = 0;
+    for line in lines {
+        assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        rows += 1;
+    }
+    assert!(rows > 10, "only {rows} data rows");
+    let _ = std::fs::remove_dir_all(&dir);
+}

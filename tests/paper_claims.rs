@@ -1,0 +1,187 @@
+//! End-to-end checks of the paper's headline claims, phrased as the paper
+//! phrases them (abstract and section conclusions).
+
+use lt_core::bottleneck;
+use lt_core::prelude::*;
+use lt_core::topology::Topology;
+
+/// "A multithreaded processor tolerates the latency as long as its memory
+/// access rate is less than the combined service rate at the memory and
+/// the network subsystems."
+#[test]
+fn tolerance_depends_on_rates_not_latency_values() {
+    // Two systems with the *same* S_obs-scale latencies but different
+    // access rates (via R): the slower-issuing one tolerates.
+    let fast = SystemConfig::paper_default().with_p_remote(0.5);
+    let slow = fast.with_runlength(4.0);
+    let t_fast = tolerance_index(&fast, IdealSpec::ZeroSwitchDelay).unwrap();
+    let t_slow = tolerance_index(&slow, IdealSpec::ZeroSwitchDelay).unwrap();
+    assert!(t_fast.zone != ToleranceZone::Tolerated);
+    assert_eq!(t_slow.zone, ToleranceZone::Tolerated);
+}
+
+/// "A high processor utilization requires both the memory latency and the
+/// network latency to be tolerated."
+#[test]
+fn high_u_p_requires_both_tolerances() {
+    for (p_remote, r, l) in [
+        (0.2, 1.0, 1.0),
+        (0.5, 1.0, 1.0),
+        (0.2, 2.0, 2.0),
+        (0.6, 2.0, 1.0),
+        (0.1, 1.0, 4.0),
+    ] {
+        let cfg = SystemConfig::paper_default()
+            .with_p_remote(p_remote)
+            .with_runlength(r)
+            .with_memory_latency(l);
+        let rep = solve(&cfg).unwrap();
+        if rep.u_p >= 0.8 {
+            let net = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).unwrap();
+            let mem = tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).unwrap();
+            assert!(
+                net.index >= 0.8,
+                "U_p {} but tol_net {}",
+                rep.u_p,
+                net.index
+            );
+            assert!(
+                mem.index >= 0.8,
+                "U_p {} but tol_mem {}",
+                rep.u_p,
+                mem.index
+            );
+        }
+    }
+}
+
+/// "A high thread runlength (by coalescing the threads to a small number)
+/// tolerates the latencies better than a high number of threads with
+/// small runlengths."
+#[test]
+fn coalescing_beats_splitting() {
+    let coarse = SystemConfig::paper_default()
+        .with_p_remote(0.4)
+        .with_n_threads(2)
+        .with_runlength(8.0);
+    let fine = SystemConfig::paper_default()
+        .with_p_remote(0.4)
+        .with_n_threads(16)
+        .with_runlength(1.0);
+    let t_coarse = tolerance_index(&coarse, IdealSpec::ZeroSwitchDelay).unwrap();
+    let t_fine = tolerance_index(&fine, IdealSpec::ZeroSwitchDelay).unwrap();
+    assert!(
+        t_coarse.index > t_fine.index,
+        "coarse {} vs fine {}",
+        t_coarse.index,
+        t_fine.index
+    );
+}
+
+/// "Most performance gains are obtained with 4 to 8 threads."
+#[test]
+fn most_gains_by_eight_threads() {
+    let base = SystemConfig::paper_default();
+    let u = |n: usize| solve(&base.with_n_threads(n)).unwrap().u_p;
+    let u1 = u(1);
+    let u8 = u(8);
+    let u20 = u(20);
+    let gain_to_8 = u8 - u1;
+    let gain_past_8 = u20 - u8;
+    assert!(
+        gain_to_8 > 3.0 * gain_past_8,
+        "gain to 8: {gain_to_8}, past 8: {gain_past_8}"
+    );
+}
+
+/// "There exists a critical p_remote beyond which the network latency
+/// cannot be tolerated," and raising R raises it (Section 5 summary).
+#[test]
+fn critical_p_remote_exists_and_grows_with_r() {
+    let find_crossing = |r: f64| {
+        let base = SystemConfig::paper_default().with_runlength(r);
+        let mut crossing = 1.0;
+        for i in 1..50 {
+            let p = i as f64 * 0.02;
+            let tol = tolerance_index(&base.with_p_remote(p), IdealSpec::ZeroSwitchDelay)
+                .unwrap()
+                .index;
+            if tol < 0.8 {
+                crossing = p;
+                break;
+            }
+        }
+        crossing
+    };
+    let c1 = find_crossing(1.0);
+    let c2 = find_crossing(2.0);
+    assert!(c1 < 1.0, "a crossing exists at R = 1");
+    assert!(c2 > c1, "R = 2 crossing {c2} vs R = 1 crossing {c1}");
+}
+
+/// Section 7: "for a geometric distribution, d_avg asymptotically
+/// approaches 1/(1 - p_sw) with increase in P", and uniform grows
+/// unboundedly.
+#[test]
+fn d_avg_asymptotics() {
+    let geo = AccessPattern::geometric(0.5);
+    let d_small = geo.d_avg(&Topology::torus(4), 0);
+    let d_large = geo.d_avg(&Topology::torus(20), 0);
+    assert!((d_large - 2.0).abs() < 0.01, "d_avg -> 1/(1-p_sw) = 2");
+    assert!(d_large > d_small);
+    let uni4 = AccessPattern::Uniform.d_avg(&Topology::torus(4), 0);
+    let uni20 = AccessPattern::Uniform.d_avg(&Topology::torus(20), 0);
+    assert!(uni20 > 4.0 * uni4, "uniform d_avg grows ~linearly in k");
+}
+
+/// "n_t to tolerate the network latency does not change with the size of
+/// the system" (Section 7 observation 2).
+#[test]
+fn thread_requirement_is_size_independent() {
+    let tol_at = |k: usize, n_t: usize| {
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(k))
+            .with_n_threads(n_t);
+        tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)
+            .unwrap()
+            .index
+    };
+    for k in [4usize, 8] {
+        // By n_t = 8 the tolerance has essentially plateaued...
+        let t8 = tol_at(k, 8);
+        let t16 = tol_at(k, 16);
+        assert!(t16 - t8 < 0.06, "k={k}: t8 {t8} vs t16 {t16}");
+        // ...and it is high.
+        assert!(t8 > 0.85, "k={k}: t8 {t8}");
+    }
+}
+
+/// Equation 4's number: λ_net saturates at ≈ 0.29 for p_sw = 0.5, S = 1.
+#[test]
+fn lambda_net_saturation_matches_paper_number() {
+    let cfg = SystemConfig::paper_default();
+    let bn = bottleneck::analyze(&cfg.with_p_remote(0.9)).unwrap();
+    let sat = bn.lambda_net_saturation.unwrap();
+    assert!((sat - 0.2885).abs() < 0.001, "Eq. 4 gives {sat}");
+    // The solved model approaches it from below at heavy traffic.
+    let l = solve(&cfg.with_p_remote(0.95).with_n_threads(24))
+        .unwrap()
+        .lambda_net;
+    assert!(l <= sat + 1e-9 && l > 0.8 * sat, "λ_net = {l} vs sat {sat}");
+}
+
+/// The ideal-network system shows *higher* memory latency than the
+/// finite-S system under locality at scale — the Section 7 mechanism
+/// behind "finite delays help relieve contentions at remote memories".
+#[test]
+fn ideal_network_increases_memory_contention_at_scale() {
+    let cfg = SystemConfig::paper_default().with_topology(Topology::torus(8));
+    let real = solve(&cfg).unwrap();
+    let ideal = solve(&cfg.with_switch_delay(0.0)).unwrap();
+    assert!(
+        ideal.l_obs > 1.2 * real.l_obs,
+        "ideal L_obs {} vs finite-S {}",
+        ideal.l_obs,
+        real.l_obs
+    );
+}
