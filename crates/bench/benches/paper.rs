@@ -2,7 +2,7 @@
 //! the artifact (quick resolution) end-to-end, so `cargo bench` doubles as
 //! a timed re-run of the whole evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lt_bench::{criterion_group, criterion_main, Criterion};
 use lt_experiments::{registry, Ctx};
 use std::time::Duration;
 

@@ -1,7 +1,7 @@
 //! Simulator micro-benchmarks: events-per-second of the two engines, and
 //! the cost of the machine variants the direct simulator adds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lt_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lt_core::prelude::*;
 use lt_qnsim::MmsOptions;
 use lt_stpn::mms::SimSettings;

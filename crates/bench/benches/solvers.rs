@@ -1,7 +1,7 @@
 //! Solver micro-benchmarks: network construction and the four MVA
 //! solvers across machine sizes and populations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lt_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lt_core::analysis::{solve_network, SolverChoice};
 use lt_core::prelude::*;
 use lt_core::qn::build::build_network;

@@ -15,6 +15,11 @@ pub enum LtError {
         iterations: usize,
         /// Residual at the last iteration.
         residual: f64,
+        /// Tail of the per-iteration residual trace (most recent last, at
+        /// most [`crate::mva::SolverOptions::trace_cap`] entries) — the
+        /// diagnostics the solve accumulated before giving up. Never empty
+        /// when produced by the fixed-point driver.
+        trace: Vec<f64>,
     },
     /// The exact solver was asked for a state space beyond its budget.
     ProblemTooLarge {
@@ -23,6 +28,11 @@ pub enum LtError {
         /// The configured ceiling.
         limit: u128,
     },
+    /// The model is structurally degenerate: a quantity the solution is
+    /// built from is undefined (zero total service demand, a zero-
+    /// utilization ideal system, a non-finite iterate). Returned instead of
+    /// ever letting NaN or infinity propagate into a report.
+    DegenerateModel(String),
     /// A request that makes no sense for the given model
     /// (e.g. network latency of a system with `p_remote = 0`).
     Unsupported(String),
@@ -36,14 +46,26 @@ impl fmt::Display for LtError {
                 solver,
                 iterations,
                 residual,
-            } => write!(
-                f,
-                "{solver} did not converge after {iterations} iterations (residual {residual:e})"
-            ),
+                trace,
+            } => {
+                write!(
+                    f,
+                    "{solver} did not converge after {iterations} iterations \
+                     (residual {residual:e}"
+                )?;
+                if let Some(tail) = trace.rchunks(4).next() {
+                    write!(f, "; recent residuals:")?;
+                    for r in tail {
+                        write!(f, " {r:.3e}")?;
+                    }
+                }
+                write!(f, ")")
+            }
             LtError::ProblemTooLarge { states, limit } => write!(
                 f,
                 "exact MVA state space too large: {states} population vectors (limit {limit})"
             ),
+            LtError::DegenerateModel(msg) => write!(f, "degenerate model: {msg}"),
             LtError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
         }
     }
@@ -53,3 +75,40 @@ impl std::error::Error for LtError {}
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_convergence_display_includes_trace_tail() {
+        let err = LtError::NoConvergence {
+            solver: "amva",
+            iterations: 12,
+            residual: 0.5,
+            trace: vec![0.9, 0.8, 0.7, 0.6, 0.5],
+        };
+        let s = err.to_string();
+        assert!(s.contains("amva"), "{s}");
+        assert!(s.contains("12"), "{s}");
+        assert!(s.contains("recent residuals"), "{s}");
+        assert!(s.contains("5.000e-1"), "{s}");
+    }
+
+    #[test]
+    fn no_convergence_display_without_trace() {
+        let err = LtError::NoConvergence {
+            solver: "amva",
+            iterations: 1,
+            residual: 1.0,
+            trace: vec![],
+        };
+        assert!(!err.to_string().contains("recent residuals"));
+    }
+
+    #[test]
+    fn degenerate_model_display() {
+        let err = LtError::DegenerateModel("zero demand".into());
+        assert_eq!(err.to_string(), "degenerate model: zero demand");
+    }
+}

@@ -6,7 +6,7 @@
 //! mean is over genuinely different classes and the per-class vector is
 //! exposed too.
 
-use crate::mva::MvaSolution;
+use crate::mva::{MvaSolution, SolverDiagnostics};
 use crate::qn::build::MmsNetwork;
 
 /// Mean utilization of each subsystem kind (fraction of time busy).
@@ -58,8 +58,12 @@ pub struct PerformanceReport {
     pub utilization: SubsystemUtilization,
     /// `U_p` for every class (all equal on a torus).
     pub u_p_per_class: Vec<f64>,
-    /// Solver iterations (0 for exact MVA).
+    /// Solver iterations (0 for exact MVA). Mirrors
+    /// `diagnostics.iterations`.
     pub iterations: usize,
+    /// How the solve behaved: which solver ran, residual/damping traces,
+    /// wall time, extrapolation count.
+    pub diagnostics: SolverDiagnostics,
 }
 
 /// Extract the paper's measures from a solved MMS network.
@@ -156,6 +160,7 @@ pub fn report(mms: &MmsNetwork, sol: &MvaSolution) -> PerformanceReport {
         utilization: util,
         u_p_per_class,
         iterations: sol.iterations,
+        diagnostics: sol.diagnostics.clone(),
     }
 }
 

@@ -9,11 +9,15 @@
 //!              =  Q_m(N) − n_{i,m}(N)/N_i
 //! ```
 //!
-//! followed by the usual MVA step. The fixed point is computed by Jacobi
-//! iteration (all waits from the previous iterate), which preserves class
-//! symmetry exactly along the trajectory.
+//! followed by the usual MVA step. The fixed point is computed by the
+//! shared damped successive-substitution driver
+//! ([`crate::mva::fixed_point`]): the underlying Jacobi map preserves class
+//! symmetry exactly along the trajectory (the damping factor is a scalar,
+//! so damped trajectories stay symmetric too), while adaptive
+//! under-relaxation keeps it from oscillating near saturation.
 
 use crate::error::{LtError, Result};
+use crate::mva::fixed_point::solve_fixed_point;
 use crate::mva::{initial_queue, MvaSolution, SolverOptions};
 use crate::qn::{ClosedNetwork, Discipline};
 
@@ -28,25 +32,22 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
     let c = net.n_classes();
     let m = net.n_stations();
 
-    let mut queue = initial_queue(net);
-    let mut next = vec![vec![0.0; m]; c];
+    // Flatten the class-by-station queue matrix for the driver.
+    let mut state: Vec<f64> = initial_queue(net).into_iter().flatten().collect();
     let mut wait = vec![vec![0.0; m]; c];
     let mut throughput = vec![0.0; c];
     let mut totals = vec![0.0; m];
 
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-
+    let diagnostics = solve_fixed_point("amva", &mut state, &opts, |queue, next| {
         totals.iter_mut().for_each(|t| *t = 0.0);
-        for row in &queue {
-            for (t, &v) in totals.iter_mut().zip(row) {
+        for i in 0..c {
+            for (t, &v) in totals.iter_mut().zip(&queue[i * m..(i + 1) * m]) {
                 *t += v;
             }
         }
 
-        let mut residual = 0.0f64;
         for i in 0..c {
+            let row = &queue[i * m..(i + 1) * m];
             let pop = net.populations[i] as f64;
             let mut cycle = 0.0;
             for st in 0..m {
@@ -58,7 +59,7 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
                 let s = net.stations[st].service;
                 let w = match net.stations[st].discipline {
                     Discipline::Queueing => {
-                        let seen = totals[st] - queue[i][st] / pop;
+                        let seen = totals[st] - row[st] / pop;
                         s * (1.0 + seen)
                     }
                     Discipline::Delay => s,
@@ -66,34 +67,29 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
                 wait[i][st] = w;
                 cycle += e * w;
             }
+            if cycle <= 0.0 {
+                return Err(LtError::DegenerateModel(format!(
+                    "amva: class {i} has zero total service demand \
+                     (cycle time 0); its throughput is undefined"
+                )));
+            }
             let lam = pop / cycle;
             throughput[i] = lam;
             for st in 0..m {
                 let e = net.visits[i][st];
-                let n_new = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
-                residual = residual.max((n_new - queue[i][st]).abs());
-                next[i][st] = n_new;
+                next[i * m + st] = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
             }
         }
-        std::mem::swap(&mut queue, &mut next);
+        Ok(())
+    })?;
 
-        if residual < opts.tolerance {
-            break;
-        }
-        if iterations >= opts.max_iterations {
-            return Err(LtError::NoConvergence {
-                solver: "amva",
-                iterations,
-                residual,
-            });
-        }
-    }
-
+    let queue: Vec<Vec<f64>> = state.chunks(m).map(|row| row.to_vec()).collect();
     Ok(MvaSolution {
         throughput,
         wait,
         queue,
-        iterations,
+        iterations: diagnostics.iterations,
+        diagnostics,
     })
 }
 
@@ -153,8 +149,8 @@ mod tests {
 
     #[test]
     fn preserves_class_symmetry() {
-        // Identical classes must come out identical (Jacobi preserves the
-        // symmetric trajectory bit-for-bit).
+        // Identical classes must come out identical (the damped Jacobi
+        // trajectory is symmetric bit-for-bit: scalar damping).
         let net = ClosedNetwork {
             stations: vec![Station::queueing("a", 1.0), Station::queueing("b", 2.0)],
             populations: vec![5, 5, 5],
@@ -179,6 +175,23 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_demands_are_a_structured_error() {
+        // Every station the class visits has zero service: the cycle time
+        // is 0 and throughput undefined. Must not produce inf/NaN.
+        let net = ClosedNetwork {
+            stations: vec![Station::queueing("a", 0.0), Station::queueing("b", 0.0)],
+            populations: vec![4],
+            visits: vec![vec![1.0, 1.0]],
+        };
+        match solve(&net) {
+            Err(LtError::DegenerateModel(msg)) => {
+                assert!(msg.contains("zero total service demand"), "{msg}")
+            }
+            other => panic!("expected DegenerateModel, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn bottleneck_throughput_bound_holds() {
         // Asymptotically X <= 1/max demand.
         let net = two_station(50, 1.0, 0.25);
@@ -188,10 +201,15 @@ mod tests {
     }
 
     #[test]
-    fn reports_iteration_count() {
+    fn reports_iteration_count_and_diagnostics() {
         let net = two_station(8, 1.0, 1.0);
         let a = solve(&net).unwrap();
         assert!(a.iterations > 0);
+        assert!(a.diagnostics.converged);
+        assert_eq!(a.diagnostics.solver, "amva");
+        assert_eq!(a.diagnostics.iterations, a.iterations);
+        assert!(!a.diagnostics.residual_trace.is_empty());
+        assert!(a.diagnostics.final_residual < 1e-10);
     }
 
     #[test]
@@ -202,15 +220,20 @@ mod tests {
             SolverOptions {
                 tolerance: 0.0, // unattainable
                 max_iterations: 3,
+                ..SolverOptions::default()
             },
         )
         .unwrap_err();
         match err {
             LtError::NoConvergence {
-                solver, iterations, ..
+                solver,
+                iterations,
+                trace,
+                ..
             } => {
                 assert_eq!(solver, "amva");
                 assert_eq!(iterations, 3);
+                assert_eq!(trace.len(), 3, "trace must cover every iteration");
             }
             other => panic!("unexpected error {other:?}"),
         }

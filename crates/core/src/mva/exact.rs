@@ -16,7 +16,7 @@
 //! `n − 1_i` precedes `n`.
 
 use crate::error::{LtError, Result};
-use crate::mva::MvaSolution;
+use crate::mva::{MvaSolution, SolverDiagnostics};
 use crate::qn::{ClosedNetwork, Discipline};
 
 /// Hard ceiling on `states × stations` table entries (~1.6 GiB of f64 at
@@ -100,6 +100,12 @@ pub fn solve_with_limit(net: &ClosedNetwork, entry_limit: u128) -> Result<MvaSol
                 wait_scratch[st] = w;
                 cycle += e * w;
             }
+            if cycle <= 0.0 {
+                return Err(LtError::DegenerateModel(format!(
+                    "exact MVA: class {i} has zero total service demand \
+                     (cycle time 0); its throughput is undefined"
+                )));
+            }
             let lam = digits[i] as f64 / cycle;
             if rank == states - 1 {
                 lambda[i] = lam;
@@ -139,6 +145,7 @@ pub fn solve_with_limit(net: &ClosedNetwork, entry_limit: u128) -> Result<MvaSol
         wait,
         queue,
         iterations: 0,
+        diagnostics: SolverDiagnostics::direct("exact-mva"),
     })
 }
 

@@ -15,6 +15,7 @@
 //! refinement. Used here for the solver-accuracy ablation.
 
 use crate::error::{LtError, Result};
+use crate::mva::fixed_point::solve_fixed_point;
 use crate::mva::{MvaSolution, SolverOptions};
 use crate::qn::{ClosedNetwork, Discipline};
 
@@ -26,9 +27,18 @@ pub fn solve(net: &ClosedNetwork) -> Result<MvaSolution> {
     solve_with(net, SolverOptions::default())
 }
 
-/// Fraction-deviation table: `f[i][j][m]`, deviation of class `j` at
-/// station `m` caused by removing one class-`i` customer.
-type Fractions = Vec<Vec<Vec<f64>>>;
+/// The model tables flattened for the inner fixed point: nested
+/// `Vec<Vec<_>>` indexing in the hot loop costs more than the arithmetic.
+struct Flat {
+    c: usize,
+    m: usize,
+    /// `visits[i * m + st]`.
+    visits: Vec<f64>,
+    /// `service[st]`.
+    service: Vec<f64>,
+    /// `queueing[st]`: true for FCFS queueing stations, false for delay.
+    queueing: Vec<bool>,
+}
 
 /// Solve with explicit convergence controls.
 pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolution> {
@@ -37,10 +47,37 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
     let m = net.n_stations();
     let full: Vec<usize> = net.populations.clone();
 
-    let mut fractions: Fractions = vec![vec![vec![0.0; m]; c]; c];
-    let mut sol_full = core(net, &full, &fractions, opts)?;
+    let mut visits = vec![0.0; c * m];
+    for i in 0..c {
+        visits[i * m..(i + 1) * m].copy_from_slice(&net.visits[i]);
+    }
+    let flat = Flat {
+        c,
+        m,
+        visits,
+        service: net.stations.iter().map(|s| s.service).collect(),
+        queueing: net
+            .stations
+            .iter()
+            .map(|s| s.discipline == Discipline::Queueing)
+            .collect(),
+    };
+
+    // Fraction-deviation table `F[(i·C + j)·M + st]`: deviation of class
+    // `j` at station `st` caused by removing one class-`i` customer.
+    let mut fractions = vec![0.0; c * c * m];
+    let mut sol_full = core(&flat, &full, &fractions, opts, None)?;
+    // Iteration/extrapolation/wall-time totals over *all* inner solves (the
+    // full-population one plus every reduced-population one), folded into
+    // the final solution's diagnostics at the end.
+    let mut spent = sol_full.diagnostics.clone();
 
     for _sweep in 0..OUTER_SWEEPS {
+        // Warm start every inner solve of this sweep from the current
+        // full-population solution — the reduced networks differ by one
+        // customer, so their fixed points are close.
+        let warm_full: Vec<f64> = sol_full.queue.concat();
+
         // Solve each N − 1_i with the current deviation estimates.
         let mut reduced = Vec::with_capacity(c);
         for i in 0..c {
@@ -54,16 +91,23 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
                 reduced.push(None);
                 continue;
             }
-            reduced.push(Some(core(net, &pop, &fractions, opts)?));
+            let mut warm = warm_full.clone();
+            let scale = pop[i] as f64 / full[i] as f64;
+            for q in &mut warm[i * m..(i + 1) * m] {
+                *q *= scale;
+            }
+            let sol_i = core(&flat, &pop, &fractions, opts, Some(&warm))?;
+            spent.absorb(&sol_i.diagnostics);
+            reduced.push(Some(sol_i));
         }
         // Update the deviations.
         for i in 0..c {
             let Some(sol_i) = &reduced[i] else { continue };
-            #[allow(clippy::needless_range_loop)]
             for j in 0..c {
                 let nj_full = full[j] as f64;
                 let nj_reduced = (full[j] - usize::from(i == j)) as f64;
-                for st in 0..m {
+                let row = &mut fractions[(i * c + j) * m..(i * c + j + 1) * m];
+                for (st, f) in row.iter_mut().enumerate() {
                     let frac_full = if nj_full > 0.0 {
                         sol_full.queue[j][st] / nj_full
                     } else {
@@ -74,116 +118,147 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
                     } else {
                         0.0
                     };
-                    fractions[i][j][st] = frac_red - frac_full;
+                    *f = frac_red - frac_full;
                 }
             }
         }
-        sol_full = core(net, &full, &fractions, opts)?;
+        sol_full = core(&flat, &full, &fractions, opts, Some(&warm_full))?;
+        spent.absorb(&sol_full.diagnostics);
     }
+    // Keep the final solve's traces/convergence; report cumulative effort.
+    sol_full.diagnostics.iterations = spent.iterations;
+    sol_full.diagnostics.extrapolations = spent.extrapolations;
+    sol_full.diagnostics.wall_time = spent.wall_time;
+    sol_full.iterations = spent.iterations;
     Ok(sol_full)
 }
 
 /// Schweitzer-style fixed point at population `pop`, with arriving-customer
 /// queue estimates corrected by the `fractions` table.
+///
+/// The corrected estimate `Σ_j (N_j − δ_ij)(n_{j,st}/N_j + F_{i,j,st})`
+/// expands to `T_st − n_{i,st}/N_i + base_{i,st}` with
+/// `T_st = Σ_j n_{j,st}` and `base_{i,st} = Σ_j N_j·F_{i,j,st} − F_{i,i,st}`
+/// — `base` is constant for the whole solve, so each iteration is `O(C·M)`
+/// instead of `O(C²·M)`.
 fn core(
-    net: &ClosedNetwork,
+    flat: &Flat,
     pop: &[usize],
-    fractions: &Fractions,
+    fractions: &[f64],
     opts: SolverOptions,
+    init: Option<&[f64]>,
 ) -> Result<MvaSolution> {
-    let c = net.n_classes();
-    let m = net.n_stations();
+    let (c, m) = (flat.c, flat.m);
 
-    // Initial guess: population spread proportionally to demand.
-    let mut queue = vec![vec![0.0; m]; c];
-    #[allow(clippy::needless_range_loop)]
+    let mut state = match init {
+        Some(warm) => warm.to_vec(),
+        None => {
+            // Cold start: population spread proportionally to demand.
+            let mut state = vec![0.0; c * m];
+            for i in 0..c {
+                let demand = |st: usize| flat.visits[i * m + st] * flat.service[st];
+                let total: f64 = (0..m).map(demand).sum();
+                let p = pop[i] as f64;
+                for st in 0..m {
+                    state[i * m + st] = if total > 0.0 {
+                        p * demand(st) / total
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            state
+        }
+    };
+
+    // base[i*m + st]; the δ_ij correction only applies to populated classes,
+    // and classes with pop 0 contribute nothing (their queues are 0 too).
+    let mut base = vec![0.0; c * m];
     for i in 0..c {
-        let total_demand: f64 = (0..m).map(|s| net.demand(i, s)).sum();
-        let p = pop[i] as f64;
-        for st in 0..m {
-            queue[i][st] = if total_demand > 0.0 {
-                p * net.demand(i, st) / total_demand
-            } else {
-                0.0
-            };
+        for j in 0..c {
+            let nj = pop[j] as f64;
+            if nj == 0.0 {
+                continue;
+            }
+            let f = &fractions[(i * c + j) * m..(i * c + j + 1) * m];
+            for st in 0..m {
+                base[i * m + st] += nj * f[st];
+            }
+        }
+        if pop[i] > 0 {
+            let f = &fractions[(i * c + i) * m..(i * c + i + 1) * m];
+            for st in 0..m {
+                base[i * m + st] -= f[st];
+            }
         }
     }
 
     let mut wait = vec![vec![0.0; m]; c];
-    let mut next = vec![vec![0.0; m]; c];
     let mut throughput = vec![0.0; c];
-    let mut iterations = 0;
+    let mut totals = vec![0.0; m];
 
-    loop {
-        iterations += 1;
-        let mut residual = 0.0f64;
+    let diagnostics = solve_fixed_point("linearizer", &mut state, &opts, |queue, next| {
+        totals.iter_mut().for_each(|t| *t = 0.0);
+        for i in 0..c {
+            for (t, &v) in totals.iter_mut().zip(&queue[i * m..(i + 1) * m]) {
+                *t += v;
+            }
+        }
+
         for i in 0..c {
             if pop[i] == 0 {
                 for st in 0..m {
-                    next[i][st] = 0.0;
+                    next[i * m + st] = 0.0;
                     wait[i][st] = 0.0;
                 }
                 throughput[i] = 0.0;
                 continue;
             }
+            let row = &queue[i * m..(i + 1) * m];
+            let base_i = &base[i * m..(i + 1) * m];
+            let visits_i = &flat.visits[i * m..(i + 1) * m];
+            let inv_ni = 1.0 / pop[i] as f64;
             let mut cycle = 0.0;
+            let wait_i = &mut wait[i];
             for st in 0..m {
-                let e = net.visits[i][st];
+                let e = visits_i[st];
                 if e == 0.0 {
-                    wait[i][st] = 0.0;
+                    wait_i[st] = 0.0;
                     continue;
                 }
-                let s = net.stations[st].service;
-                let w = match net.stations[st].discipline {
-                    Discipline::Queueing => {
-                        // Estimated total queue seen by an arriving class-i
-                        // customer: Σ_j (N_j − δ_ij)(n_j/N_j + F_{i,j}).
-                        let mut seen = 0.0;
-                        for j in 0..c {
-                            let nj = pop[j] as f64;
-                            if nj == 0.0 {
-                                continue;
-                            }
-                            let reduced = nj - f64::from(u8::from(i == j));
-                            if reduced <= 0.0 {
-                                continue;
-                            }
-                            seen += reduced * (queue[j][st] / nj + fractions[i][j][st]);
-                        }
-                        s * (1.0 + seen.max(0.0))
-                    }
-                    Discipline::Delay => s,
+                let s = flat.service[st];
+                let w = if flat.queueing[st] {
+                    let seen = totals[st] - row[st] * inv_ni + base_i[st];
+                    s * (1.0 + seen.max(0.0))
+                } else {
+                    s
                 };
-                wait[i][st] = w;
+                wait_i[st] = w;
                 cycle += e * w;
+            }
+            if cycle <= 0.0 {
+                return Err(LtError::DegenerateModel(format!(
+                    "linearizer: class {i} has zero total service demand \
+                     (cycle time 0); its throughput is undefined"
+                )));
             }
             let lam = pop[i] as f64 / cycle;
             throughput[i] = lam;
             for st in 0..m {
-                let e = net.visits[i][st];
-                let n_new = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
-                residual = residual.max((n_new - queue[i][st]).abs());
-                next[i][st] = n_new;
+                let e = visits_i[st];
+                next[i * m + st] = if e == 0.0 { 0.0 } else { lam * e * wait_i[st] };
             }
         }
-        std::mem::swap(&mut queue, &mut next);
-        if residual < opts.tolerance {
-            break;
-        }
-        if iterations >= opts.max_iterations {
-            return Err(LtError::NoConvergence {
-                solver: "linearizer",
-                iterations,
-                residual,
-            });
-        }
-    }
+        Ok(())
+    })?;
 
+    let queue: Vec<Vec<f64>> = state.chunks(m).map(|row| row.to_vec()).collect();
     Ok(MvaSolution {
         throughput,
         wait,
         queue,
-        iterations,
+        iterations: diagnostics.iterations,
+        diagnostics,
     })
 }
 

@@ -19,7 +19,7 @@
 //! the cross-checks below).
 
 use crate::error::{LtError, Result};
-use crate::mva::MvaSolution;
+use crate::mva::{MvaSolution, SolverDiagnostics};
 use crate::qn::{ClosedNetwork, Discipline};
 
 /// Per-station service-rate function: completions per time unit with `j`
@@ -110,6 +110,12 @@ pub fn solve(net: &ClosedNetwork, rates: &[RateFn]) -> Result<MvaSolution> {
             };
             cycle += e * wait[st];
         }
+        if cycle <= 0.0 {
+            return Err(LtError::DegenerateModel(format!(
+                "load-dependent MVA: zero total service demand at \
+                 population {pop}; throughput is undefined"
+            )));
+        }
         x = pop as f64 / cycle;
 
         // Update marginals / means at population `pop`.
@@ -140,6 +146,7 @@ pub fn solve(net: &ClosedNetwork, rates: &[RateFn]) -> Result<MvaSolution> {
         wait: vec![wait],
         queue: vec![mean_q],
         iterations: 0,
+        diagnostics: SolverDiagnostics::direct("load-dependent-mva"),
     })
 }
 

@@ -24,14 +24,18 @@
 pub mod amva;
 pub mod convolution;
 pub mod exact;
+pub mod fixed_point;
 pub mod linearizer;
 pub mod load_dependent;
 pub mod priority;
 pub mod symmetric;
 
+pub use fixed_point::SolverDiagnostics;
+
 use crate::qn::ClosedNetwork;
 
-/// Convergence controls for the iterative solvers.
+/// Convergence controls for the iterative solvers (consumed by the shared
+/// damped fixed-point driver in [`fixed_point`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverOptions {
     /// Fixed-point tolerance on the max-norm of queue-length changes.
@@ -39,6 +43,19 @@ pub struct SolverOptions {
     /// Iteration budget before giving up with
     /// [`crate::LtError::NoConvergence`].
     pub max_iterations: usize,
+    /// Initial under-relaxation factor `α` (`x ← x + α·(G(x) − x)`);
+    /// 1 is the undamped Jacobi step.
+    pub damping_initial: f64,
+    /// Floor for the adaptive damping factor. Oscillation detection halves
+    /// `α` down to (at most) this value.
+    pub damping_min: f64,
+    /// Enable geometric (Aitken-style) extrapolation when the residual
+    /// decays at a stable ratio.
+    pub extrapolation: bool,
+    /// Maximum number of per-iteration entries kept in the residual and
+    /// damping traces of [`SolverDiagnostics`] (and in
+    /// [`crate::LtError::NoConvergence`] on failure).
+    pub trace_cap: usize,
 }
 
 impl Default for SolverOptions {
@@ -46,6 +63,24 @@ impl Default for SolverOptions {
         SolverOptions {
             tolerance: 1e-10,
             max_iterations: 100_000,
+            damping_initial: 1.0,
+            damping_min: 0.02,
+            extrapolation: true,
+            trace_cap: 64,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// A more conservative variant used by the Auto escalation ladder when
+    /// a solve fails: start half-damped, allow heavier damping, and double
+    /// the iteration budget.
+    pub fn tightened(&self) -> Self {
+        SolverOptions {
+            damping_initial: (self.damping_initial * 0.25).max(self.damping_min),
+            damping_min: (self.damping_min * 0.25).max(1e-4),
+            max_iterations: self.max_iterations.saturating_mul(2),
+            ..*self
         }
     }
 }
@@ -61,8 +96,12 @@ pub struct MvaSolution {
     pub wait: Vec<Vec<f64>>,
     /// `queue[i][m]`: mean number of class-`i` customers at station `m`.
     pub queue: Vec<Vec<f64>>,
-    /// Iterations used (0 for the exact solver).
+    /// Iterations used (0 for the exact solver). Mirrors
+    /// `diagnostics.iterations`.
     pub iterations: usize,
+    /// How the solve behaved: residual/damping traces, wall time, the
+    /// hardest-to-converge station.
+    pub diagnostics: SolverDiagnostics,
 }
 
 impl MvaSolution {

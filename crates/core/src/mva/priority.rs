@@ -22,6 +22,7 @@
 //! (simulated) policy is quantified in the `ext-priority` experiment.
 
 use crate::error::{LtError, Result};
+use crate::mva::fixed_point::solve_fixed_point;
 use crate::mva::{initial_queue, MvaSolution, SolverOptions};
 use crate::qn::build::{MmsNetwork, StationKind};
 use crate::qn::Discipline;
@@ -29,9 +30,14 @@ use crate::qn::Discipline;
 /// Guard keeping the shadow-server slowdown finite.
 const MAX_SHADOW_UTIL: f64 = 0.995;
 
-/// Under-relaxation factor: the ρ-feedback makes the plain iteration
-/// oscillate near saturation, so queue updates are damped.
-const DAMPING: f64 = 0.5;
+/// Ceiling on the *initial* under-relaxation factor: the ρ-feedback makes
+/// the undamped iteration oscillate near saturation, so this solver starts
+/// half-damped and lets the shared driver adapt from there.
+const DAMPING_START: f64 = 0.5;
+
+/// Exponential-smoothing weight for the priority utilizations. The ρ
+/// feedback is the destabilizing loop, so it gets the heavier damping.
+const RHO_BLEND: f64 = 0.1;
 
 /// Solve the MMS with local-priority memories, default options.
 pub fn solve(mms: &MmsNetwork) -> Result<MvaSolution> {
@@ -46,6 +52,12 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
     let m = net.n_stations();
     let p = mms.idx.p;
 
+    // The ρ feedback tolerates no undamped start (see DAMPING_START).
+    let opts = SolverOptions {
+        damping_initial: opts.damping_initial.min(DAMPING_START),
+        ..opts
+    };
+
     // Station -> Some(node) when it is a memory module.
     let memory_node: Vec<Option<usize>> = (0..m)
         .map(|st| match mms.idx.kind(st) {
@@ -54,8 +66,7 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
         })
         .collect();
 
-    let mut queue = initial_queue(net);
-    let mut next = vec![vec![0.0; m]; c];
+    let mut state: Vec<f64> = initial_queue(net).into_iter().flatten().collect();
     let mut wait = vec![vec![0.0; m]; c];
     let mut throughput: Vec<f64> = vec![0.0; c];
 
@@ -74,21 +85,19 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
     let mut totals = vec![0.0; m];
     let mut rho_high = vec![0.0; p];
     let mut rho_low = vec![0.0; p];
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
+    let mut first = true;
 
+    let diagnostics = solve_fixed_point("priority-amva", &mut state, &opts, |queue, next| {
         totals.iter_mut().for_each(|t| *t = 0.0);
-        for row in &queue {
-            for (t, &v) in totals.iter_mut().zip(row) {
+        for i in 0..c {
+            for (t, &v) in totals.iter_mut().zip(&queue[i * m..(i + 1) * m]) {
                 *t += v;
             }
         }
 
         // Priority utilizations per memory node, from the current
         // throughputs (high = the local class, low = everyone else),
-        // exponentially smoothed: the ρ feedback is the destabilizing
-        // loop, so it gets the heavier damping.
+        // exponentially smoothed (RHO_BLEND).
         let mut rho_high_new = vec![0.0; p];
         let mut rho_low_new = vec![0.0; p];
         for (st, node) in memory_node.iter().enumerate() {
@@ -104,14 +113,15 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
                 }
             }
         }
-        let blend = if iterations == 1 { 1.0 } else { 0.1 };
+        let blend = if first { 1.0 } else { RHO_BLEND };
+        first = false;
         for j in 0..p {
             rho_high[j] += blend * (rho_high_new[j] - rho_high[j]);
             rho_low[j] += blend * (rho_low_new[j] - rho_low[j]);
         }
 
-        let mut residual = 0.0f64;
         for i in 0..c {
+            let row = &queue[i * m..(i + 1) * m];
             let pop = net.populations[i] as f64;
             let mut cycle = 0.0;
             for st in 0..m {
@@ -126,7 +136,7 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
                     (Discipline::Queueing, Some(j)) if s > 0.0 => {
                         if i == j {
                             // High priority: own queue + residual low job.
-                            let n_high_seen = queue[i][st] * (pop - 1.0) / pop;
+                            let n_high_seen = row[st] * (pop - 1.0) / pop;
                             s * (1.0 + n_high_seen) + s * rho_low[j].min(1.0)
                         } else {
                             // Low priority at the shadow server.
@@ -136,10 +146,11 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
                                 if other == j {
                                     continue;
                                 }
+                                let q_other = queue[other * m + st];
                                 n_low_seen += if other == i {
-                                    queue[other][st] * (pop - 1.0) / pop
+                                    q_other * (pop - 1.0) / pop
                                 } else {
-                                    queue[other][st]
+                                    q_other
                                 };
                             }
                             let slowdown = 1.0 - rho_high[j].min(MAX_SHADOW_UTIL);
@@ -147,41 +158,36 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
                         }
                     }
                     (Discipline::Queueing, _) => {
-                        let seen = totals[st] - queue[i][st] / pop;
+                        let seen = totals[st] - row[st] / pop;
                         s * (1.0 + seen)
                     }
                 };
                 wait[i][st] = w;
                 cycle += e * w;
             }
+            if cycle <= 0.0 {
+                return Err(LtError::DegenerateModel(format!(
+                    "priority-amva: class {i} has zero total service demand \
+                     (cycle time 0); its throughput is undefined"
+                )));
+            }
             let lam = pop / cycle;
             throughput[i] = lam;
             for st in 0..m {
                 let e = net.visits[i][st];
-                let n_new = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
-                residual = residual.max((n_new - queue[i][st]).abs());
-                next[i][st] = DAMPING * n_new + (1.0 - DAMPING) * queue[i][st];
+                next[i * m + st] = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
             }
         }
-        std::mem::swap(&mut queue, &mut next);
+        Ok(())
+    })?;
 
-        if residual < opts.tolerance {
-            break;
-        }
-        if iterations >= opts.max_iterations {
-            return Err(LtError::NoConvergence {
-                solver: "priority-amva",
-                iterations,
-                residual,
-            });
-        }
-    }
-
+    let queue: Vec<Vec<f64>> = state.chunks(m).map(|row| row.to_vec()).collect();
     Ok(MvaSolution {
         throughput,
         wait,
         queue,
-        iterations,
+        iterations: diagnostics.iterations,
+        diagnostics,
     })
 }
 

@@ -91,6 +91,12 @@ impl StationIndex {
         }
     }
     /// Classify a raw station index.
+    ///
+    /// # Panics
+    ///
+    /// On an index at or past [`StationIndex::count`]. The message
+    /// distinguishes an index in the `mem-delay` block of a layout *without*
+    /// that block (a layout mix-up) from a plainly out-of-range index.
     pub fn kind(&self, station: usize) -> StationKind {
         let (block, node) = (station / self.p, station % self.p);
         match block {
@@ -99,7 +105,19 @@ impl StationIndex {
             2 => StationKind::InSwitch(node),
             3 => StationKind::OutSwitch(node),
             4 if self.has_memory_delay => StationKind::MemoryDelay(node),
-            _ => panic!("station index {station} out of range"),
+            4 => panic!(
+                "station index {station} addresses the mem-delay block, but this \
+                 layout has no memory-delay stations (memory_ports <= 1); \
+                 valid indices are 0..{}",
+                self.count()
+            ),
+            _ => panic!(
+                "station index {station} out of range for {} stations \
+                 (p = {}, has_memory_delay = {})",
+                self.count(),
+                self.p,
+                self.has_memory_delay
+            ),
         }
     }
 }
@@ -247,6 +265,42 @@ mod tests {
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn kind_covers_every_valid_index() {
+        for has_memory_delay in [false, true] {
+            let idx = StationIndex {
+                p: 3,
+                has_memory_delay,
+            };
+            for st in 0..idx.count() {
+                let _ = idx.kind(st); // must not panic
+            }
+            assert_eq!(idx.kind(idx.mem(2)), StationKind::Memory(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no memory-delay stations")]
+    fn kind_names_the_missing_mem_delay_block() {
+        // Index 4p..5p without the mem-delay block: a layout mix-up, not a
+        // generic out-of-range — the message must say so.
+        let idx = StationIndex {
+            p: 3,
+            has_memory_delay: false,
+        };
+        idx.kind(4 * 3 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for 15 stations")]
+    fn kind_reports_true_out_of_range() {
+        let idx = StationIndex {
+            p: 3,
+            has_memory_delay: true,
+        };
+        idx.kind(5 * 3);
     }
 
     #[test]

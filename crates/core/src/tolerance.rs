@@ -25,7 +25,7 @@
 //! tolerated at `0.5 ≤ tol < 0.8`, not tolerated below `0.5`.
 
 use crate::analysis::{solve_with, SolverChoice};
-use crate::error::Result;
+use crate::error::{LtError, Result};
 use crate::params::SystemConfig;
 
 /// Threshold above which a latency counts as tolerated.
@@ -127,7 +127,7 @@ pub fn tolerance_index_with(
 ) -> Result<ToleranceReport> {
     let real = solve_with(cfg, choice)?;
     let ideal = solve_with(&spec.ideal_config(cfg), choice)?;
-    let index = real.u_p / ideal.u_p;
+    let index = checked_index(real.u_p, ideal.u_p, spec)?;
     Ok(ToleranceReport {
         index,
         u_p: real.u_p,
@@ -135,6 +135,20 @@ pub fn tolerance_index_with(
         zone: ToleranceZone::from_index(index),
         spec,
     })
+}
+
+/// `U_p / U_p(ideal)` with the division guarded: a zero or non-finite
+/// ideal utilization would make the index NaN/Inf and silently classify as
+/// NotTolerated — refuse with a structured error instead.
+fn checked_index(u_p: f64, u_p_ideal: f64, spec: IdealSpec) -> Result<f64> {
+    if !(u_p_ideal > 0.0 && u_p_ideal.is_finite() && u_p.is_finite()) {
+        return Err(LtError::DegenerateModel(format!(
+            "tolerance index against the {} ideal is undefined: \
+             U_p = {u_p}, ideal U_p = {u_p_ideal}",
+            spec.label()
+        )));
+    }
+    Ok(u_p / u_p_ideal)
 }
 
 #[cfg(test)]
@@ -208,6 +222,28 @@ mod tests {
         let cfg = SystemConfig::paper_default().with_runlength(10.0);
         let t = tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).unwrap();
         assert!(t.index > 0.9, "tol_memory = {}", t.index);
+    }
+
+    #[test]
+    fn zero_or_non_finite_ideal_utilization_is_an_error() {
+        // Regression: index = U_p / U_p(ideal) used to go NaN (silently
+        // classified NotTolerated) when the ideal utilization was 0.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match checked_index(0.5, bad, IdealSpec::ZeroSwitchDelay) {
+                Err(LtError::DegenerateModel(msg)) => {
+                    assert!(msg.contains("undefined"), "{msg}")
+                }
+                other => panic!("ideal U_p = {bad}: expected DegenerateModel, got {other:?}"),
+            }
+        }
+        match checked_index(f64::NAN, 0.5, IdealSpec::AllLocal) {
+            Err(LtError::DegenerateModel(_)) => {}
+            other => panic!("NaN U_p must be refused, got {other:?}"),
+        }
+        assert_eq!(
+            checked_index(0.4, 0.8, IdealSpec::ZeroMemoryDelay).unwrap(),
+            0.5
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! extensions (Erlang interpolates between the two in coefficient of
 //! variation).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+// No external dependency: the generator below is a self-contained
+// xoshiro256++ (the same algorithm behind `rand`'s 64-bit `SmallRng`),
+// seeded through SplitMix64 as its authors recommend.
 
 /// A service-time distribution with a specified mean.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,32 +95,64 @@ impl ServiceDist {
     }
 }
 
-/// A seeded random stream (xoshiro-based `SmallRng`: fast, good quality,
-/// reproducible across runs for a fixed seed).
+/// SplitMix64 step: mixes a 64-bit state into a well-distributed output.
+/// Used for seeding and sub-stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded random stream (xoshiro256++: fast, good quality, reproducible
+/// across runs for a fixed seed).
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// A stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent sub-stream (e.g. one per node) by mixing an
     /// index into the seed with a SplitMix64 step.
     pub fn substream(seed: u64, index: u64) -> Self {
         let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        SimRng::new(z ^ (z >> 31))
+        SimRng::new(splitmix64(&mut z))
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` (53-bit mantissa from the top bits).
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponential with the given mean (inverse transform; guards the

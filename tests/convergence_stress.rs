@@ -1,0 +1,154 @@
+//! Saturation stress grid: every solver, driven deep into the regime the
+//! paper's headline claims live in (`p_remote ≥ 0.8`, large `n_t`), must
+//! either converge or fail *structurally* — a NoConvergence carrying a
+//! non-empty residual trace — and must never leak NaN or infinity into a
+//! report field.
+
+use lt_core::analysis::{solve_network_with, SolverChoice};
+use lt_core::metrics::{report, PerformanceReport};
+use lt_core::mva::{load_dependent, priority, MvaSolution, SolverOptions};
+use lt_core::prelude::*;
+use lt_core::qn::build::build_network;
+use lt_core::qn::{ClosedNetwork, Station};
+use lt_core::topology::Topology;
+use lt_core::LtError;
+
+const P_REMOTE: [f64; 3] = [0.8, 0.9, 0.95];
+const N_THREADS: [usize; 3] = [16, 24, 32];
+
+fn grid() -> impl Iterator<Item = (f64, usize, SystemConfig)> {
+    P_REMOTE.into_iter().flat_map(|p_remote| {
+        N_THREADS.into_iter().map(move |n_t| {
+            let cfg = SystemConfig::paper_default()
+                .with_topology(Topology::torus(2))
+                .with_p_remote(p_remote)
+                .with_n_threads(n_t);
+            (p_remote, n_t, cfg)
+        })
+    })
+}
+
+fn assert_finite_report(rep: &PerformanceReport, ctx: &str) {
+    let scalars = [
+        ("u_p", rep.u_p),
+        ("lambda_proc", rep.lambda_proc),
+        ("lambda_net", rep.lambda_net),
+        ("s_obs", rep.s_obs),
+        ("l_obs", rep.l_obs),
+        ("l_obs_local", rep.l_obs_local),
+        ("l_obs_remote", rep.l_obs_remote),
+        ("network_time_per_cycle", rep.network_time_per_cycle),
+        ("d_avg", rep.d_avg),
+        ("system_throughput", rep.system_throughput),
+        ("util.processor", rep.utilization.processor),
+        ("util.memory", rep.utilization.memory),
+        ("util.in_switch", rep.utilization.in_switch),
+        ("util.out_switch", rep.utilization.out_switch),
+        ("diag.final_residual", rep.diagnostics.final_residual),
+    ];
+    for (name, v) in scalars {
+        assert!(v.is_finite(), "{ctx}: {name} = {v} is not finite");
+    }
+    for (i, &u) in rep.u_p_per_class.iter().enumerate() {
+        assert!(u.is_finite(), "{ctx}: u_p_per_class[{i}] = {u}");
+    }
+    for (i, &r) in rep.diagnostics.residual_trace.iter().enumerate() {
+        assert!(r.is_finite(), "{ctx}: residual_trace[{i}] = {r}");
+    }
+}
+
+fn assert_finite_solution(sol: &MvaSolution, ctx: &str) {
+    for (i, &x) in sol.throughput.iter().enumerate() {
+        assert!(x.is_finite(), "{ctx}: throughput[{i}] = {x}");
+    }
+    for (which, table) in [("wait", &sol.wait), ("queue", &sol.queue)] {
+        for (i, row) in table.iter().enumerate() {
+            for (st, &v) in row.iter().enumerate() {
+                assert!(v.is_finite(), "{ctx}: {which}[{i}][{st}] = {v}");
+            }
+        }
+    }
+}
+
+/// A failure is acceptable only as NoConvergence with a usable trace.
+fn assert_structured_failure(err: &LtError, ctx: &str) {
+    match err {
+        LtError::NoConvergence { trace, .. } => {
+            assert!(!trace.is_empty(), "{ctx}: NoConvergence with empty trace");
+            assert!(
+                trace.iter().all(|r| r.is_finite()),
+                "{ctx}: non-finite residual in trace"
+            );
+        }
+        other => panic!("{ctx}: unexpected failure {other:?}"),
+    }
+}
+
+#[test]
+fn mva_solvers_survive_the_saturation_grid() {
+    for (p_remote, n_t, cfg) in grid() {
+        let mms = build_network(&cfg).unwrap();
+        for choice in [
+            SolverChoice::Auto,
+            SolverChoice::SymmetricAmva,
+            SolverChoice::Amva,
+            SolverChoice::Linearizer,
+        ] {
+            let ctx = format!("p_remote={p_remote} n_t={n_t} {choice:?}");
+            match solve_network_with(&mms, choice, SolverOptions::default()) {
+                Ok(sol) => {
+                    assert_finite_solution(&sol, &ctx);
+                    let rep = report(&mms, &sol);
+                    assert_finite_report(&rep, &ctx);
+                    assert!(rep.diagnostics.converged, "{ctx}: Ok but not converged");
+                }
+                Err(err) => assert_structured_failure(&err, &ctx),
+            }
+        }
+    }
+}
+
+#[test]
+fn priority_solver_survives_the_saturation_grid() {
+    for (p_remote, n_t, cfg) in grid() {
+        let mms = build_network(&cfg).unwrap();
+        let ctx = format!("p_remote={p_remote} n_t={n_t} priority");
+        match priority::solve_with(&mms, SolverOptions::default()) {
+            Ok(sol) => {
+                assert_finite_solution(&sol, &ctx);
+                assert_finite_report(&report(&mms, &sol), &ctx);
+            }
+            Err(err) => assert_structured_failure(&err, &ctx),
+        }
+    }
+}
+
+#[test]
+fn load_dependent_solver_survives_the_saturation_grid() {
+    // Single-class surrogate of the same stress axis: a processor feeding a
+    // multi-ported memory, population n_t, memory demand scaled by the
+    // remote fraction's longer path.
+    for p_remote in P_REMOTE {
+        for n_t in N_THREADS {
+            let ctx = format!("p_remote={p_remote} n_t={n_t} load-dependent");
+            let net = ClosedNetwork {
+                stations: vec![
+                    Station::queueing("proc", 1.0),
+                    Station::queueing("mem", 1.0 + 2.0 * p_remote),
+                ],
+                populations: vec![n_t],
+                visits: vec![vec![1.0, 1.0]],
+            };
+            let sol = load_dependent::solve(
+                &net,
+                &[
+                    load_dependent::RateFn::Fixed,
+                    load_dependent::RateFn::MultiServer(2),
+                ],
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert_finite_solution(&sol, &ctx);
+            assert!(sol.throughput[0] > 0.0, "{ctx}: zero throughput");
+        }
+    }
+}
