@@ -7,6 +7,15 @@ use std::fmt;
 pub enum LtError {
     /// A parameter failed validation (message explains which and why).
     InvalidConfig(String),
+    /// A specific configuration field failed validation. Produced by the
+    /// `validate()` methods and the wire decoder so API clients can be
+    /// told exactly which field to fix.
+    InvalidField {
+        /// Dotted path of the offending field (e.g. `workload.p_remote`).
+        field: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
     /// An iterative solver did not reach its convergence tolerance.
     NoConvergence {
         /// Solver name ("amva", "linearizer", ...).
@@ -42,6 +51,9 @@ impl fmt::Display for LtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LtError::InvalidField { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
             LtError::NoConvergence {
                 solver,
                 iterations,
@@ -68,6 +80,30 @@ impl fmt::Display for LtError {
             LtError::DegenerateModel(msg) => write!(f, "degenerate model: {msg}"),
             LtError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
         }
+    }
+}
+
+impl LtError {
+    /// Stable snake_case kind label, one per variant — used by the serving
+    /// layer to count errors by class and to pick HTTP status codes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LtError::InvalidConfig(_) => "invalid_config",
+            LtError::InvalidField { .. } => "invalid_field",
+            LtError::NoConvergence { .. } => "no_convergence",
+            LtError::ProblemTooLarge { .. } => "problem_too_large",
+            LtError::DegenerateModel(_) => "degenerate_model",
+            LtError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// Whether the error is the caller's fault (a bad request, in HTTP
+    /// terms) as opposed to a solver-side failure.
+    pub fn is_client_error(&self) -> bool {
+        matches!(
+            self,
+            LtError::InvalidConfig(_) | LtError::InvalidField { .. } | LtError::Unsupported(_)
+        )
     }
 }
 
@@ -104,6 +140,47 @@ mod tests {
             trace: vec![],
         };
         assert!(!err.to_string().contains("recent residuals"));
+    }
+
+    #[test]
+    fn invalid_field_display_names_the_field() {
+        let err = LtError::InvalidField {
+            field: "workload.p_remote".into(),
+            reason: "must lie in [0, 1]".into(),
+        };
+        let s = err.to_string();
+        assert!(s.contains("workload.p_remote"), "{s}");
+        assert!(s.contains("[0, 1]"), "{s}");
+    }
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let errs = [
+            LtError::InvalidConfig("x".into()),
+            LtError::InvalidField {
+                field: "f".into(),
+                reason: "r".into(),
+            },
+            LtError::NoConvergence {
+                solver: "amva",
+                iterations: 1,
+                residual: 1.0,
+                trace: vec![],
+            },
+            LtError::ProblemTooLarge {
+                states: 10,
+                limit: 1,
+            },
+            LtError::DegenerateModel("d".into()),
+            LtError::Unsupported("u".into()),
+        ];
+        let kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
+        let mut dedup = kinds.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), errs.len(), "kind labels must be unique");
+        assert!(errs[1].is_client_error());
+        assert!(!errs[2].is_client_error());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod analysis;
 pub mod bottleneck;
 pub mod bounds;
 pub mod error;
+pub mod json;
 pub mod metrics;
 pub mod mva;
 pub mod params;
@@ -70,6 +71,7 @@ pub mod qn;
 pub mod sweep;
 pub mod tolerance;
 pub mod topology;
+pub mod wire;
 pub mod workload;
 
 pub use analysis::{solve, solve_with, SolverChoice};

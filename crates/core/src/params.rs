@@ -17,6 +17,15 @@ use crate::error::{LtError, Result};
 use crate::topology::Topology;
 use crate::workload::AccessPattern;
 
+/// Build an [`LtError::InvalidField`] (shared by the validators here and
+/// in [`crate::workload`]).
+pub(crate) fn invalid_field(field: &str, reason: &str) -> LtError {
+    LtError::InvalidField {
+        field: field.to_string(),
+        reason: reason.to_string(),
+    }
+}
+
 /// Program workload parameters (identical on every PE: SPMD assumption).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadParams {
@@ -35,23 +44,26 @@ pub struct WorkloadParams {
 }
 
 impl WorkloadParams {
-    /// Validate ranges; returns a message naming the offending field.
+    /// Validate ranges; errors are [`LtError::InvalidField`] naming the
+    /// offending field by its dotted wire-format path.
     pub fn validate(&self) -> Result<()> {
         if self.n_threads == 0 {
-            return Err(LtError::InvalidConfig("n_threads must be >= 1".into()));
+            return Err(invalid_field("workload.n_threads", "must be >= 1"));
         }
         if !self.runlength.is_finite() || self.runlength <= 0.0 {
-            return Err(LtError::InvalidConfig(
-                "runlength (R) must be finite and > 0".into(),
+            return Err(invalid_field(
+                "workload.runlength",
+                "runlength (R) must be finite and > 0",
             ));
         }
         if !self.context_switch.is_finite() || self.context_switch < 0.0 {
-            return Err(LtError::InvalidConfig(
-                "context_switch (C) must be finite and >= 0".into(),
+            return Err(invalid_field(
+                "workload.context_switch",
+                "context_switch (C) must be finite and >= 0",
             ));
         }
         if !(0.0..=1.0).contains(&self.p_remote) {
-            return Err(LtError::InvalidConfig("p_remote must lie in [0, 1]".into()));
+            return Err(invalid_field("workload.p_remote", "must lie in [0, 1]"));
         }
         self.pattern.validate()
     }
@@ -79,25 +91,26 @@ pub struct ArchParams {
 }
 
 impl ArchParams {
-    /// Validate ranges.
+    /// Validate ranges; errors are [`LtError::InvalidField`] naming the
+    /// offending field by its dotted wire-format path.
     pub fn validate(&self) -> Result<()> {
         if self.topology.nodes() < 1 {
-            return Err(LtError::InvalidConfig(
-                "topology must have >= 1 node".into(),
-            ));
+            return Err(invalid_field("arch.topology", "must have >= 1 node"));
         }
         if !self.memory_latency.is_finite() || self.memory_latency < 0.0 {
-            return Err(LtError::InvalidConfig(
-                "memory_latency (L) must be finite and >= 0".into(),
+            return Err(invalid_field(
+                "arch.memory_latency",
+                "memory_latency (L) must be finite and >= 0",
             ));
         }
         if !self.switch_delay.is_finite() || self.switch_delay < 0.0 {
-            return Err(LtError::InvalidConfig(
-                "switch_delay (S) must be finite and >= 0".into(),
+            return Err(invalid_field(
+                "arch.switch_delay",
+                "switch_delay (S) must be finite and >= 0",
             ));
         }
         if self.memory_ports == 0 {
-            return Err(LtError::InvalidConfig("memory_ports must be >= 1".into()));
+            return Err(invalid_field("arch.memory_ports", "must be >= 1"));
         }
         Ok(())
     }

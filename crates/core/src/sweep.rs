@@ -1,17 +1,48 @@
 //! Parallel parameter sweeps.
 //!
 //! The evaluation regenerates surfaces over hundreds of configurations;
-//! each solve is independent, so a static partition over OS threads (std
-//! scoped threads — no extra dependencies) is all that is needed.
+//! each solve is independent, so OS threads (std scoped threads — no extra
+//! dependencies) are all that is needed. Two schedules are offered:
+//!
+//! * [`Schedule::Static`] — contiguous chunks, one per core. Lowest
+//!   overhead; right for near-uniform per-item costs.
+//! * [`Schedule::Dynamic`] — an atomic next-item counter that idle threads
+//!   claim from (work-stealing-style self-scheduling). Right for *skewed*
+//!   costs: a sweep mixing near-saturation configs (hundreds of solver
+//!   iterations) with light-load ones (a handful) keeps every core busy
+//!   until the tail instead of letting one chunk dominate wall time. The
+//!   `latencyd` sweep endpoint uses this mode.
+//!
+//! Both preserve item order in the output.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Apply `f` to every item, in parallel, preserving order.
-///
-/// Work is split into contiguous chunks, one per available core (capped by
-/// the item count). For the near-uniform costs of MVA solves this static
-/// schedule is within noise of dynamic scheduling.
+/// How [`parallel_map_with`] assigns items to threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Contiguous per-thread chunks, fixed up front.
+    #[default]
+    Static,
+    /// Threads claim the next unprocessed item from a shared atomic
+    /// counter, so fast items don't wait behind slow ones.
+    Dynamic,
+}
+
+/// Apply `f` to every item, in parallel, preserving order
+/// ([`Schedule::Static`]).
 pub fn parallel_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    parallel_map_with(items, Schedule::Static, f)
+}
+
+/// Apply `f` to every item, in parallel with the chosen schedule,
+/// preserving order.
+pub fn parallel_map_with<I, T, F>(items: &[I], schedule: Schedule, f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
@@ -27,23 +58,63 @@ where
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-
-    std::thread::scope(|scope| {
-        let f = &f;
-        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
+    match schedule {
+        Schedule::Static => {
+            let chunk = items.len().div_ceil(threads);
+            let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+            out.resize_with(items.len(), || None);
+            std::thread::scope(|scope| {
+                let f = &f;
+                for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *slot = Some(f(item));
+                        }
+                    });
                 }
             });
+            out.into_iter()
+                .map(|v| v.expect("all chunks filled"))
+                .collect()
         }
-    });
-    out.into_iter()
-        .map(|v| v.expect("all chunks filled"))
-        .collect()
+        Schedule::Dynamic => {
+            // Each thread claims one item at a time and collects
+            // (index, result) pairs locally; results are placed into order
+            // after the join, so no slot sharing is needed.
+            let next = AtomicUsize::new(0);
+            let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+            out.resize_with(items.len(), || None);
+            let per_thread: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+                let f = &f;
+                let next = &next;
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= items.len() {
+                                    break;
+                                }
+                                local.push((i, f(&items[i])));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            for (i, v) in per_thread.into_iter().flatten() {
+                out[i] = Some(v);
+            }
+            out.into_iter()
+                .map(|v| v.expect("all items claimed"))
+                .collect()
+        }
+    }
 }
 
 /// Cartesian product of two parameter axes, row-major (`a` outer).
@@ -96,6 +167,62 @@ mod tests {
         let par = parallel_map(&cfgs, |c| solve(c).unwrap().u_p);
         let seq: Vec<_> = cfgs.iter().map(|c| solve(c).unwrap().u_p).collect();
         assert_eq!(par, seq);
+    }
+
+    /// Tiny deterministic LCG for cost skew in the property test (no rand
+    /// dependency).
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    #[test]
+    fn dynamic_schedule_preserves_order_and_matches_sequential() {
+        // Property test over random skewed workloads: some items cost ~100x
+        // others, mimicking near-saturation vs light-load solves.
+        let mut seed = 0xC0FFEE;
+        for trial in 0..8 {
+            let n = 1 + (lcg(&mut seed) % 257) as usize;
+            let items: Vec<u64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let work = |&x: &u64| -> u64 {
+                // Skewed cost: busy-loop length depends on the item.
+                let spin = if x % 7 == 0 { 2000 } else { 20 };
+                let mut acc = x;
+                for _ in 0..spin {
+                    acc = acc.wrapping_mul(31).wrapping_add(7);
+                }
+                acc
+            };
+            let seq: Vec<u64> = items.iter().map(work).collect();
+            let dyn_out = parallel_map_with(&items, Schedule::Dynamic, work);
+            assert_eq!(dyn_out, seq, "trial {trial}, n = {n}");
+            let static_out = parallel_map_with(&items, Schedule::Static, work);
+            assert_eq!(static_out, seq, "trial {trial}, n = {n}");
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map_with(&empty, Schedule::Dynamic, |&x| x).is_empty());
+        assert_eq!(
+            parallel_map_with(&[9u32], Schedule::Dynamic, |&x| x * 2),
+            vec![18]
+        );
+    }
+
+    #[test]
+    fn dynamic_schedule_matches_on_solves() {
+        use crate::analysis::solve;
+        use crate::params::SystemConfig;
+        let cfgs: Vec<_> = (1..=6)
+            .map(|n| SystemConfig::paper_default().with_n_threads(n))
+            .collect();
+        let dynamic = parallel_map_with(&cfgs, Schedule::Dynamic, |c| solve(c).unwrap().u_p);
+        let seq: Vec<_> = cfgs.iter().map(|c| solve(c).unwrap().u_p).collect();
+        assert_eq!(dynamic, seq);
     }
 
     #[test]

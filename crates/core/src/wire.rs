@@ -1,0 +1,632 @@
+//! Wire format: JSON encode/decode for the public model types, and the
+//! canonical content-address key used by the serving layer's solution
+//! cache.
+//!
+//! The JSON schema is pinned by `tests/wire_format.rs` (golden bytes);
+//! changing any field name or ordering here is a wire-format break and
+//! must update that test deliberately.
+//!
+//! Canonicalization quantizes every float to its IEEE-754 bit pattern
+//! (after normalizing `-0.0` to `0.0`) and lists fields in one fixed
+//! order, so two configs produce the same key **iff** they solve to the
+//! same model. Validation upstream guarantees no NaN reaches a key.
+
+use crate::analysis::SolverChoice;
+use crate::error::{LtError, Result};
+use crate::json::JsonValue;
+use crate::metrics::{PerformanceReport, SubsystemUtilization};
+use crate::mva::SolverDiagnostics;
+use crate::params::{ArchParams, SystemConfig, WorkloadParams};
+use crate::tolerance::{IdealSpec, ToleranceReport};
+use crate::topology::{GridKind, Topology};
+use crate::workload::AccessPattern;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Decode helpers
+// ---------------------------------------------------------------------------
+
+fn bad(field: &str, reason: impl Into<String>) -> LtError {
+    LtError::InvalidField {
+        field: field.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn req<'a>(v: &'a JsonValue, parent: &str, key: &str) -> Result<&'a JsonValue> {
+    v.get(key)
+        .ok_or_else(|| bad(&join(parent, key), "missing required field"))
+}
+
+fn join(parent: &str, key: &str) -> String {
+    if parent.is_empty() {
+        key.to_string()
+    } else {
+        format!("{parent}.{key}")
+    }
+}
+
+fn num(v: &JsonValue, field: &str) -> Result<f64> {
+    v.as_f64().ok_or_else(|| bad(field, "expected a number"))
+}
+
+fn uint(v: &JsonValue, field: &str) -> Result<usize> {
+    v.as_u64()
+        .map(|x| x as usize)
+        .ok_or_else(|| bad(field, "expected a non-negative integer"))
+}
+
+fn string<'a>(v: &'a JsonValue, field: &str) -> Result<&'a str> {
+    v.as_str().ok_or_else(|| bad(field, "expected a string"))
+}
+
+// ---------------------------------------------------------------------------
+// SystemConfig
+// ---------------------------------------------------------------------------
+
+/// Encode a [`SystemConfig`].
+pub fn config_to_json(cfg: &SystemConfig) -> JsonValue {
+    JsonValue::object(vec![
+        ("workload", workload_to_json(&cfg.workload)),
+        ("arch", arch_to_json(&cfg.arch)),
+    ])
+}
+
+fn workload_to_json(w: &WorkloadParams) -> JsonValue {
+    JsonValue::object(vec![
+        ("n_threads", w.n_threads.into()),
+        ("runlength", w.runlength.into()),
+        ("context_switch", w.context_switch.into()),
+        ("p_remote", w.p_remote.into()),
+        ("pattern", pattern_to_json(&w.pattern)),
+    ])
+}
+
+fn arch_to_json(a: &ArchParams) -> JsonValue {
+    JsonValue::object(vec![
+        ("topology", topology_to_json(&a.topology)),
+        ("memory_latency", a.memory_latency.into()),
+        ("switch_delay", a.switch_delay.into()),
+        ("memory_ports", a.memory_ports.into()),
+    ])
+}
+
+fn pattern_to_json(p: &AccessPattern) -> JsonValue {
+    match *p {
+        AccessPattern::Geometric { p_sw, per_module } => JsonValue::object(vec![
+            ("kind", "geometric".into()),
+            ("p_sw", p_sw.into()),
+            ("per_module", per_module.into()),
+        ]),
+        AccessPattern::Uniform => JsonValue::object(vec![("kind", "uniform".into())]),
+        AccessPattern::HotSpot { p_hot } => {
+            JsonValue::object(vec![("kind", "hot_spot".into()), ("p_hot", p_hot.into())])
+        }
+    }
+}
+
+fn topology_to_json(t: &Topology) -> JsonValue {
+    match t.kind() {
+        GridKind::Torus => JsonValue::object(vec![
+            ("kind", "torus".into()),
+            ("kx", t.k().into()),
+            ("ky", t.ky().into()),
+        ]),
+        GridKind::Mesh => JsonValue::object(vec![("kind", "mesh".into()), ("k", t.k().into())]),
+    }
+}
+
+/// Decode a [`SystemConfig`]; the result is validated before return, so a
+/// successfully decoded config is safe to hand to any solver.
+pub fn config_from_json(v: &JsonValue) -> Result<SystemConfig> {
+    let w = req(v, "", "workload")?;
+    let a = req(v, "", "arch")?;
+    let cfg = SystemConfig {
+        workload: workload_from_json(w)?,
+        arch: arch_from_json(a)?,
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn workload_from_json(v: &JsonValue) -> Result<WorkloadParams> {
+    const P: &str = "workload";
+    Ok(WorkloadParams {
+        n_threads: uint(req(v, P, "n_threads")?, &join(P, "n_threads"))?,
+        runlength: num(req(v, P, "runlength")?, &join(P, "runlength"))?,
+        context_switch: match v.get("context_switch") {
+            Some(x) => num(x, &join(P, "context_switch"))?,
+            None => 0.0,
+        },
+        p_remote: num(req(v, P, "p_remote")?, &join(P, "p_remote"))?,
+        pattern: pattern_from_json(req(v, P, "pattern")?)?,
+    })
+}
+
+fn arch_from_json(v: &JsonValue) -> Result<ArchParams> {
+    const P: &str = "arch";
+    Ok(ArchParams {
+        topology: topology_from_json(req(v, P, "topology")?)?,
+        memory_latency: num(req(v, P, "memory_latency")?, &join(P, "memory_latency"))?,
+        switch_delay: num(req(v, P, "switch_delay")?, &join(P, "switch_delay"))?,
+        memory_ports: match v.get("memory_ports") {
+            Some(x) => uint(x, &join(P, "memory_ports"))?,
+            None => 1,
+        },
+    })
+}
+
+fn pattern_from_json(v: &JsonValue) -> Result<AccessPattern> {
+    const P: &str = "workload.pattern";
+    match string(req(v, P, "kind")?, &join(P, "kind"))? {
+        "geometric" => Ok(AccessPattern::Geometric {
+            p_sw: num(req(v, P, "p_sw")?, &join(P, "p_sw"))?,
+            per_module: match v.get("per_module") {
+                Some(x) => x
+                    .as_bool()
+                    .ok_or_else(|| bad(&join(P, "per_module"), "expected a boolean"))?,
+                None => false,
+            },
+        }),
+        "uniform" => Ok(AccessPattern::Uniform),
+        "hot_spot" => Ok(AccessPattern::HotSpot {
+            p_hot: num(req(v, P, "p_hot")?, &join(P, "p_hot"))?,
+        }),
+        other => Err(bad(
+            &join(P, "kind"),
+            format!("unknown pattern kind '{other}' (expected geometric | uniform | hot_spot)"),
+        )),
+    }
+}
+
+fn topology_from_json(v: &JsonValue) -> Result<Topology> {
+    const P: &str = "arch.topology";
+    match string(req(v, P, "kind")?, &join(P, "kind"))? {
+        "torus" => {
+            // Accept either a square {"k": n} or a rectangle {"kx", "ky"}.
+            let (kx, ky) = if let Some(k) = v.get("k") {
+                let k = uint(k, &join(P, "k"))?;
+                (k, k)
+            } else {
+                (
+                    uint(req(v, P, "kx")?, &join(P, "kx"))?,
+                    uint(req(v, P, "ky")?, &join(P, "ky"))?,
+                )
+            };
+            if kx < 1 || ky < 1 {
+                return Err(bad(P, "torus dimensions must be at least 1"));
+            }
+            Ok(Topology::rect_torus(kx, ky))
+        }
+        "mesh" => {
+            if v.get("kx").is_some() || v.get("ky").is_some() {
+                return Err(bad(P, "mesh must be square: give \"k\", not kx/ky"));
+            }
+            let k = uint(req(v, P, "k")?, &join(P, "k"))?;
+            if k < 1 {
+                return Err(bad(P, "mesh dimension must be at least 1"));
+            }
+            Ok(Topology::mesh(k))
+        }
+        other => Err(bad(
+            &join(P, "kind"),
+            format!("unknown topology kind '{other}' (expected torus | mesh)"),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolverChoice
+// ---------------------------------------------------------------------------
+
+/// Short wire name of a solver choice.
+pub fn solver_choice_label(c: SolverChoice) -> &'static str {
+    match c {
+        SolverChoice::Auto => "auto",
+        SolverChoice::SymmetricAmva => "symmetric",
+        SolverChoice::Amva => "amva",
+        SolverChoice::Linearizer => "linearizer",
+        SolverChoice::Exact => "exact",
+    }
+}
+
+/// Parse a solver choice from its wire name.
+pub fn solver_choice_from_str(s: &str) -> Result<SolverChoice> {
+    match s {
+        "auto" => Ok(SolverChoice::Auto),
+        "symmetric" => Ok(SolverChoice::SymmetricAmva),
+        "amva" => Ok(SolverChoice::Amva),
+        "linearizer" => Ok(SolverChoice::Linearizer),
+        "exact" => Ok(SolverChoice::Exact),
+        other => Err(bad(
+            "solver",
+            format!(
+                "unknown solver '{other}' (expected auto | symmetric | amva | linearizer | exact)"
+            ),
+        )),
+    }
+}
+
+/// Parse an ideal-system spec from its wire name (the labels of
+/// [`IdealSpec::label`]).
+pub fn ideal_spec_from_str(s: &str) -> Result<IdealSpec> {
+    match s {
+        "network" => Ok(IdealSpec::ZeroSwitchDelay),
+        "memory" => Ok(IdealSpec::ZeroMemoryDelay),
+        "all-local" => Ok(IdealSpec::AllLocal),
+        other => Err(bad(
+            "spec",
+            format!("unknown ideal spec '{other}' (expected network | memory | all-local)"),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PerformanceReport / SolverDiagnostics
+// ---------------------------------------------------------------------------
+
+/// Encode a [`PerformanceReport`] (diagnostics included).
+pub fn report_to_json(rep: &PerformanceReport) -> JsonValue {
+    JsonValue::object(vec![
+        ("u_p", rep.u_p.into()),
+        ("lambda_proc", rep.lambda_proc.into()),
+        ("lambda_net", rep.lambda_net.into()),
+        ("s_obs", rep.s_obs.into()),
+        ("l_obs", rep.l_obs.into()),
+        ("l_obs_local", rep.l_obs_local.into()),
+        ("l_obs_remote", rep.l_obs_remote.into()),
+        ("network_time_per_cycle", rep.network_time_per_cycle.into()),
+        ("d_avg", rep.d_avg.into()),
+        ("system_throughput", rep.system_throughput.into()),
+        (
+            "utilization",
+            JsonValue::object(vec![
+                ("processor", rep.utilization.processor.into()),
+                ("memory", rep.utilization.memory.into()),
+                ("in_switch", rep.utilization.in_switch.into()),
+                ("out_switch", rep.utilization.out_switch.into()),
+            ]),
+        ),
+        (
+            "u_p_per_class",
+            JsonValue::Array(rep.u_p_per_class.iter().map(|&x| x.into()).collect()),
+        ),
+        ("iterations", rep.iterations.into()),
+        ("diagnostics", diagnostics_to_json(&rep.diagnostics)),
+    ])
+}
+
+/// Encode [`SolverDiagnostics`]. Wall time is carried as integer
+/// microseconds (`wall_time_us`).
+pub fn diagnostics_to_json(d: &SolverDiagnostics) -> JsonValue {
+    JsonValue::object(vec![
+        ("solver", d.solver.into()),
+        ("iterations", d.iterations.into()),
+        ("converged", d.converged.into()),
+        ("final_residual", d.final_residual.into()),
+        (
+            "residual_trace",
+            JsonValue::Array(d.residual_trace.iter().map(|&x| x.into()).collect()),
+        ),
+        (
+            "damping_trace",
+            JsonValue::Array(d.damping_trace.iter().map(|&x| x.into()).collect()),
+        ),
+        (
+            "max_residual_index",
+            match d.max_residual_index {
+                Some(i) => i.into(),
+                None => JsonValue::Null,
+            },
+        ),
+        ("extrapolations", d.extrapolations.into()),
+        ("wall_time_us", (d.wall_time.as_micros() as u64).into()),
+    ])
+}
+
+/// Decode a [`PerformanceReport`].
+pub fn report_from_json(v: &JsonValue) -> Result<PerformanceReport> {
+    let f = |key: &str| -> Result<f64> { num(req(v, "report", key)?, &join("report", key)) };
+    let util = req(v, "report", "utilization")?;
+    let uf = |key: &str| -> Result<f64> {
+        num(
+            req(util, "report.utilization", key)?,
+            &join("report.utilization", key),
+        )
+    };
+    let per_class = req(v, "report", "u_p_per_class")?
+        .as_array()
+        .ok_or_else(|| bad("report.u_p_per_class", "expected an array"))?
+        .iter()
+        .map(|x| num(x, "report.u_p_per_class[]"))
+        .collect::<Result<Vec<f64>>>()?;
+    Ok(PerformanceReport {
+        u_p: f("u_p")?,
+        lambda_proc: f("lambda_proc")?,
+        lambda_net: f("lambda_net")?,
+        s_obs: f("s_obs")?,
+        l_obs: f("l_obs")?,
+        l_obs_local: f("l_obs_local")?,
+        l_obs_remote: f("l_obs_remote")?,
+        network_time_per_cycle: f("network_time_per_cycle")?,
+        d_avg: f("d_avg")?,
+        system_throughput: f("system_throughput")?,
+        utilization: SubsystemUtilization {
+            processor: uf("processor")?,
+            memory: uf("memory")?,
+            in_switch: uf("in_switch")?,
+            out_switch: uf("out_switch")?,
+        },
+        u_p_per_class: per_class,
+        iterations: uint(req(v, "report", "iterations")?, "report.iterations")?,
+        diagnostics: diagnostics_from_json(req(v, "report", "diagnostics")?)?,
+    })
+}
+
+/// Decode [`SolverDiagnostics`]. The solver name is interned against the
+/// known solver set (`"unknown"` for anything else, since the field is a
+/// `&'static str`).
+pub fn diagnostics_from_json(v: &JsonValue) -> Result<SolverDiagnostics> {
+    const P: &str = "report.diagnostics";
+    let trace = |key: &str| -> Result<Vec<f64>> {
+        req(v, P, key)?
+            .as_array()
+            .ok_or_else(|| bad(&join(P, key), "expected an array"))?
+            .iter()
+            .map(|x| num(x, &join(P, key)))
+            .collect()
+    };
+    let solver = intern_solver_name(string(req(v, P, "solver")?, &join(P, "solver"))?);
+    let max_residual_index = match req(v, P, "max_residual_index")? {
+        JsonValue::Null => None,
+        x => Some(uint(x, &join(P, "max_residual_index"))?),
+    };
+    Ok(SolverDiagnostics {
+        solver,
+        iterations: uint(req(v, P, "iterations")?, &join(P, "iterations"))?,
+        converged: req(v, P, "converged")?
+            .as_bool()
+            .ok_or_else(|| bad(&join(P, "converged"), "expected a boolean"))?,
+        final_residual: num(req(v, P, "final_residual")?, &join(P, "final_residual"))?,
+        residual_trace: trace("residual_trace")?,
+        damping_trace: trace("damping_trace")?,
+        max_residual_index,
+        extrapolations: uint(req(v, P, "extrapolations")?, &join(P, "extrapolations"))?,
+        wall_time: Duration::from_micros(
+            req(v, P, "wall_time_us")?
+                .as_u64()
+                .ok_or_else(|| bad(&join(P, "wall_time_us"), "expected an integer"))?,
+        ),
+    })
+}
+
+fn intern_solver_name(name: &str) -> &'static str {
+    const KNOWN: [&str; 8] = [
+        "auto",
+        "exact-mva",
+        "amva",
+        "symmetric-amva",
+        "linearizer",
+        "priority",
+        "convolution",
+        "load-dependent",
+    ];
+    KNOWN
+        .iter()
+        .find(|&&k| k == name)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+// ---------------------------------------------------------------------------
+// ToleranceReport
+// ---------------------------------------------------------------------------
+
+/// Encode a [`ToleranceReport`].
+pub fn tolerance_to_json(t: &ToleranceReport) -> JsonValue {
+    JsonValue::object(vec![
+        ("index", t.index.into()),
+        ("u_p", t.u_p.into()),
+        ("u_p_ideal", t.u_p_ideal.into()),
+        ("zone", t.zone.label().into()),
+        ("spec", t.spec.label().into()),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Canonical content-address key
+// ---------------------------------------------------------------------------
+
+/// Hex bit pattern of a float, with `-0.0` normalized to `0.0`.
+fn bits(x: f64) -> String {
+    let x = if x == 0.0 { 0.0 } else { x };
+    format!("{:016x}", x.to_bits())
+}
+
+/// Canonical content-address key of a config: fixed field order, floats
+/// quantized to IEEE-754 bit patterns. Two configs share a key iff they
+/// describe the same model instance.
+pub fn canonical_config_key(cfg: &SystemConfig) -> String {
+    let t = &cfg.arch.topology;
+    let topo = match t.kind() {
+        GridKind::Torus => format!("t{}x{}", t.k(), t.ky()),
+        GridKind::Mesh => format!("m{}x{}", t.k(), t.ky()),
+    };
+    let pat = match cfg.workload.pattern {
+        AccessPattern::Geometric { p_sw, per_module } => {
+            format!("g:{}:{}", bits(p_sw), u8::from(per_module))
+        }
+        AccessPattern::Uniform => "u".to_string(),
+        AccessPattern::HotSpot { p_hot } => format!("h:{}", bits(p_hot)),
+    };
+    format!(
+        "v1;topo={topo};nt={};r={};c={};pr={};pat={pat};L={};S={};mp={}",
+        cfg.workload.n_threads,
+        bits(cfg.workload.runlength),
+        bits(cfg.workload.context_switch),
+        bits(cfg.workload.p_remote),
+        bits(cfg.arch.memory_latency),
+        bits(cfg.arch.switch_delay),
+        cfg.arch.memory_ports,
+    )
+}
+
+/// Cache key for a (config, solver) pair — what the serving layer's
+/// solution cache is addressed by.
+pub fn canonical_solve_key(cfg: &SystemConfig, choice: SolverChoice) -> String {
+    format!(
+        "{};solver={}",
+        canonical_config_key(cfg),
+        solver_choice_label(choice)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn config_round_trips() {
+        let cfg = SystemConfig::paper_default();
+        let v = config_to_json(&cfg);
+        let back = config_from_json(&json::parse(&v.encode()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn config_round_trips_all_pattern_and_topology_kinds() {
+        let base = SystemConfig::paper_default();
+        let variants = [
+            base.with_pattern(AccessPattern::Uniform),
+            base.with_pattern(AccessPattern::hot_spot(0.3)),
+            base.with_pattern(AccessPattern::geometric_per_module(0.7)),
+            base.with_topology(Topology::mesh(3))
+                .with_pattern(AccessPattern::Uniform),
+            base.with_topology(Topology::rect_torus(4, 2)),
+            base.with_memory_ports(2),
+        ];
+        for cfg in variants {
+            let back = config_from_json(&config_to_json(&cfg)).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn decode_applies_defaults() {
+        let v = json::parse(
+            r#"{"workload":{"n_threads":4,"runlength":2,"p_remote":0.1,
+                "pattern":{"kind":"geometric","p_sw":0.5}},
+                "arch":{"topology":{"kind":"torus","k":4},
+                "memory_latency":1,"switch_delay":1}}"#,
+        )
+        .unwrap();
+        let cfg = config_from_json(&v).unwrap();
+        assert_eq!(cfg.workload.context_switch, 0.0);
+        assert_eq!(cfg.arch.memory_ports, 1);
+        assert_eq!(cfg.arch.topology, Topology::torus(4));
+        assert_eq!(
+            cfg.workload.pattern,
+            AccessPattern::geometric(0.5),
+            "per_module defaults to false"
+        );
+    }
+
+    #[test]
+    fn decode_errors_name_the_field() {
+        let v = json::parse(r#"{"workload":{"n_threads":0},"arch":{}}"#).unwrap();
+        let err = config_from_json(&v).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("workload."), "{msg}");
+
+        let v = json::parse(
+            r#"{"workload":{"n_threads":8,"runlength":1,"p_remote":3,
+                "pattern":{"kind":"geometric","p_sw":0.5}},
+                "arch":{"topology":{"kind":"torus","k":4},
+                "memory_latency":1,"switch_delay":1}}"#,
+        )
+        .unwrap();
+        let err = config_from_json(&v).unwrap_err();
+        assert!(err.to_string().contains("p_remote"), "{err}");
+    }
+
+    #[test]
+    fn decoded_configs_are_validated() {
+        // Structurally fine JSON, semantically invalid model.
+        let v = json::parse(
+            r#"{"workload":{"n_threads":8,"runlength":-1,"p_remote":0.2,
+                "pattern":{"kind":"geometric","p_sw":0.5}},
+                "arch":{"topology":{"kind":"torus","k":4},
+                "memory_latency":1,"switch_delay":1}}"#,
+        )
+        .unwrap();
+        assert!(config_from_json(&v).is_err());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_models_and_ignores_nothing() {
+        let base = SystemConfig::paper_default();
+        let k0 = canonical_config_key(&base);
+        assert_eq!(k0, canonical_config_key(&base.clone()), "deterministic");
+        for other in [
+            base.with_n_threads(9),
+            base.with_runlength(1.0 + 1e-15),
+            base.with_p_remote(0.25),
+            base.with_switch_delay(2.0),
+            base.with_memory_latency(0.5),
+            base.with_memory_ports(2),
+            base.with_topology(Topology::rect_torus(4, 5)),
+            base.with_topology(Topology::mesh(4)),
+            base.with_pattern(AccessPattern::Uniform),
+            base.with_pattern(AccessPattern::geometric_per_module(0.5)),
+        ] {
+            assert_ne!(k0, canonical_config_key(&other), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_key_normalizes_negative_zero() {
+        let a = SystemConfig::paper_default().with_memory_latency(0.0);
+        let b = SystemConfig::paper_default().with_memory_latency(-0.0);
+        assert_eq!(canonical_config_key(&a), canonical_config_key(&b));
+    }
+
+    #[test]
+    fn solve_key_includes_solver() {
+        let cfg = SystemConfig::paper_default();
+        assert_ne!(
+            canonical_solve_key(&cfg, SolverChoice::Auto),
+            canonical_solve_key(&cfg, SolverChoice::Exact)
+        );
+    }
+
+    #[test]
+    fn solver_choice_labels_round_trip() {
+        for c in [
+            SolverChoice::Auto,
+            SolverChoice::SymmetricAmva,
+            SolverChoice::Amva,
+            SolverChoice::Linearizer,
+            SolverChoice::Exact,
+        ] {
+            assert_eq!(solver_choice_from_str(solver_choice_label(c)).unwrap(), c);
+        }
+        assert!(solver_choice_from_str("bogus").is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let cfg = SystemConfig::paper_default();
+        let rep = crate::analysis::solve(&cfg).unwrap();
+        let v = report_to_json(&rep);
+        let back = report_from_json(&json::parse(&v.encode()).unwrap()).unwrap();
+        assert_eq!(back.u_p.to_bits(), rep.u_p.to_bits());
+        assert_eq!(back.u_p_per_class, rep.u_p_per_class);
+        assert_eq!(back.diagnostics.solver, rep.diagnostics.solver);
+        assert_eq!(back.diagnostics.iterations, rep.diagnostics.iterations);
+        assert_eq!(
+            back.diagnostics.residual_trace,
+            rep.diagnostics.residual_trace
+        );
+    }
+}

@@ -70,12 +70,13 @@ impl AccessPattern {
         !matches!(self, AccessPattern::HotSpot { .. })
     }
 
-    /// Validate parameters.
+    /// Validate parameters; errors name the offending field.
     pub fn validate(&self) -> Result<()> {
+        use crate::params::invalid_field;
         match *self {
             AccessPattern::Geometric { p_sw, .. } => {
                 if !p_sw.is_finite() || p_sw <= 0.0 || p_sw > 1.0 {
-                    Err(LtError::InvalidConfig("p_sw must lie in (0, 1]".into()))
+                    Err(invalid_field("workload.pattern.p_sw", "must lie in (0, 1]"))
                 } else {
                     Ok(())
                 }
@@ -83,7 +84,10 @@ impl AccessPattern {
             AccessPattern::Uniform => Ok(()),
             AccessPattern::HotSpot { p_hot } => {
                 if !p_hot.is_finite() || !(0.0..=1.0).contains(&p_hot) {
-                    Err(LtError::InvalidConfig("p_hot must lie in [0, 1]".into()))
+                    Err(invalid_field(
+                        "workload.pattern.p_hot",
+                        "must lie in [0, 1]",
+                    ))
                 } else {
                     Ok(())
                 }

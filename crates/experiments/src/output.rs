@@ -75,6 +75,30 @@ impl Table {
         out
     }
 
+    /// Render as JSON: an array of row objects keyed by the column
+    /// headers, using the workspace's shared JSON writer
+    /// ([`lt_core::json`]) so experiment output and the serving layer
+    /// speak the same dialect. Cells stay strings — they are already
+    /// formatted for display.
+    pub fn to_json(&self) -> String {
+        use lt_core::json::JsonValue;
+        JsonValue::Array(
+            self.rows
+                .iter()
+                .map(|row| {
+                    JsonValue::Object(
+                        self.headers
+                            .iter()
+                            .cloned()
+                            .zip(row.iter().map(|c| JsonValue::String(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+        .encode()
+    }
+
     /// Render as CSV (headers + rows).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -226,6 +250,20 @@ mod tests {
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has \"\"quote\"\"\""));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_rows_keyed_by_headers() {
+        let mut t = Table::new(vec!["n_t", "U_p"]);
+        t.row(vec!["8", "0.85"]);
+        t.row(vec!["16", "0.97"]);
+        let text = t.to_json();
+        let v = lt_core::json::parse(&text).unwrap();
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("n_t").and_then(|x| x.as_str()), Some("8"));
+        assert_eq!(rows[1].get("U_p").and_then(|x| x.as_str()), Some("0.97"));
+        assert!(Table::new(vec!["a"]).to_json().starts_with('['));
     }
 
     #[test]

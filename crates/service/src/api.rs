@@ -1,0 +1,520 @@
+//! Request/response schemas for the `latencyd` endpoints: body parsing,
+//! parameter-grid expansion for sweeps, and the error-to-status mapping.
+//!
+//! Everything here is transport-free (bytes in, structured values out) so
+//! it unit-tests without sockets; `server.rs` wires it to HTTP.
+
+use lt_core::analysis::SolverChoice;
+use lt_core::json::{self, JsonValue};
+use lt_core::params::SystemConfig;
+use lt_core::tolerance::IdealSpec;
+use lt_core::wire;
+use lt_core::LtError;
+
+/// Most configs a single sweep request may expand to.
+pub const MAX_SWEEP_ITEMS: usize = 4096;
+
+/// A structured API error, ready to serialize as
+/// `{"error":{"kind":...,"message":...}}` with the right HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Stable machine-readable kind (one of
+    /// [`crate::metrics::ERROR_KINDS`]).
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A `400 bad_request` error.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            kind: "bad_request".into(),
+            message: message.into(),
+        }
+    }
+
+    /// The `504 timeout` error for a request that blew its deadline.
+    pub fn timeout(timeout_ms: u64) -> ApiError {
+        ApiError {
+            status: 504,
+            kind: "timeout".into(),
+            message: format!("request did not complete within {timeout_ms} ms"),
+        }
+    }
+
+    /// The JSON body for this error.
+    pub fn body(&self) -> String {
+        json::encode(&JsonValue::object(vec![(
+            "error",
+            JsonValue::object(vec![
+                ("kind", self.kind.as_str().into()),
+                ("message", self.message.as_str().into()),
+            ]),
+        )]))
+    }
+}
+
+impl From<LtError> for ApiError {
+    /// Model errors map to `400` when the client sent a bad config and
+    /// `500` when the solver itself failed.
+    fn from(e: LtError) -> ApiError {
+        ApiError {
+            status: if e.is_client_error() { 400 } else { 500 },
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parsed body of `POST /v1/solve`.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The model to solve.
+    pub config: SystemConfig,
+    /// Solver to use (default auto).
+    pub solver: SolverChoice,
+    /// Per-request deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+/// Parsed body of `POST /v1/sweep`: an explicit config list or an
+/// expanded parameter grid, flattened to one ordered list.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Configs to solve, in response order.
+    pub configs: Vec<SystemConfig>,
+    /// Solver applied to every item.
+    pub solver: SolverChoice,
+    /// Per-request deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+/// Parsed body of `POST /v1/tolerance`.
+#[derive(Debug, Clone)]
+pub struct ToleranceRequest {
+    /// The real system.
+    pub config: SystemConfig,
+    /// Which ideal system to compare against.
+    pub spec: IdealSpec,
+    /// Per-request deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+fn parse_body(body: &[u8]) -> Result<JsonValue, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    json::parse(text).map_err(|e| {
+        ApiError::bad_request(format!(
+            "malformed JSON at byte {}: {}",
+            e.offset, e.message
+        ))
+    })
+}
+
+fn parse_common(v: &JsonValue) -> Result<(SolverChoice, Option<u64>), ApiError> {
+    let solver = match v.get("solver") {
+        None => SolverChoice::Auto,
+        Some(s) => {
+            let name = s
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("\"solver\" must be a string"))?;
+            wire::solver_choice_from_str(name)?
+        }
+    };
+    let timeout_ms = match v.get("timeout_ms") {
+        None => None,
+        Some(t) => Some(t.as_u64().ok_or_else(|| {
+            ApiError::bad_request("\"timeout_ms\" must be a non-negative integer")
+        })?),
+    };
+    Ok((solver, timeout_ms))
+}
+
+/// Parse a `POST /v1/solve` body.
+pub fn parse_solve(body: &[u8]) -> Result<SolveRequest, ApiError> {
+    let v = parse_body(body)?;
+    let config = v
+        .get("config")
+        .ok_or_else(|| ApiError::bad_request("missing required field \"config\""))?;
+    let config = wire::config_from_json(config)?;
+    let (solver, timeout_ms) = parse_common(&v)?;
+    Ok(SolveRequest {
+        config,
+        solver,
+        timeout_ms,
+    })
+}
+
+/// Parse a `POST /v1/tolerance` body.
+pub fn parse_tolerance(body: &[u8]) -> Result<ToleranceRequest, ApiError> {
+    let v = parse_body(body)?;
+    let config = v
+        .get("config")
+        .ok_or_else(|| ApiError::bad_request("missing required field \"config\""))?;
+    let config = wire::config_from_json(config)?;
+    let spec = match v.get("spec") {
+        None => IdealSpec::ZeroSwitchDelay,
+        Some(s) => {
+            let name = s
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("\"spec\" must be a string"))?;
+            wire::ideal_spec_from_str(name)?
+        }
+    };
+    let (_, timeout_ms) = parse_common(&v)?;
+    Ok(ToleranceRequest {
+        config,
+        spec,
+        timeout_ms,
+    })
+}
+
+/// Parse a `POST /v1/sweep` body: either `{"configs":[...]}` or
+/// `{"base":{...},"grid":[{"param":...,"values":[...]}]}` (row-major
+/// expansion, later axes fastest).
+pub fn parse_sweep(body: &[u8]) -> Result<SweepRequest, ApiError> {
+    let v = parse_body(body)?;
+    let (solver, timeout_ms) = parse_common(&v)?;
+    let configs = match (v.get("configs"), v.get("base")) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad_request(
+                "give either \"configs\" or \"base\"+\"grid\", not both",
+            ))
+        }
+        (Some(list), None) => {
+            let list = list
+                .as_array()
+                .ok_or_else(|| ApiError::bad_request("\"configs\" must be an array"))?;
+            if list.is_empty() {
+                return Err(ApiError::bad_request("\"configs\" must not be empty"));
+            }
+            list.iter()
+                .map(|c| wire::config_from_json(c).map_err(ApiError::from))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        (None, Some(base)) => {
+            let base = wire::config_from_json(base)?;
+            let grid = v
+                .get("grid")
+                .ok_or_else(|| ApiError::bad_request("\"base\" requires a \"grid\" array"))?
+                .as_array()
+                .ok_or_else(|| ApiError::bad_request("\"grid\" must be an array"))?;
+            expand_grid(&base, grid)?
+        }
+        (None, None) => {
+            return Err(ApiError::bad_request(
+                "missing \"configs\" (explicit list) or \"base\"+\"grid\" (parameter grid)",
+            ))
+        }
+    };
+    if configs.len() > MAX_SWEEP_ITEMS {
+        return Err(ApiError::bad_request(format!(
+            "sweep expands to {} configs; the limit is {MAX_SWEEP_ITEMS}",
+            configs.len()
+        )));
+    }
+    Ok(SweepRequest {
+        configs,
+        solver,
+        timeout_ms,
+    })
+}
+
+/// One grid axis: a parameter path and the values it takes.
+struct Axis {
+    param: String,
+    values: Vec<f64>,
+}
+
+/// Apply one swept parameter to a config. The supported paths are the
+/// scalar knobs of the model (topology and pattern changes need explicit
+/// `configs`).
+fn apply_param(cfg: &SystemConfig, param: &str, value: f64) -> Result<SystemConfig, ApiError> {
+    let as_count = |what: &str| -> Result<usize, ApiError> {
+        if value.fract() != 0.0 || value < 0.0 || value > (1u64 << 53) as f64 {
+            Err(ApiError::bad_request(format!(
+                "grid value {value} for \"{what}\" must be a non-negative integer"
+            )))
+        } else {
+            Ok(value as usize)
+        }
+    };
+    Ok(match param {
+        "workload.n_threads" => cfg.with_n_threads(as_count(param)?),
+        "workload.runlength" => cfg.with_runlength(value),
+        "workload.context_switch" => {
+            let mut c = cfg.clone();
+            c.workload.context_switch = value;
+            c
+        }
+        "workload.p_remote" => cfg.with_p_remote(value),
+        "arch.memory_latency" => cfg.with_memory_latency(value),
+        "arch.switch_delay" => cfg.with_switch_delay(value),
+        "arch.memory_ports" => cfg.with_memory_ports(as_count(param)?),
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "unknown sweep parameter \"{other}\" (supported: workload.n_threads, \
+                 workload.runlength, workload.context_switch, workload.p_remote, \
+                 arch.memory_latency, arch.switch_delay, arch.memory_ports)"
+            )))
+        }
+    })
+}
+
+/// Row-major cartesian expansion of the grid axes over `base`. Every
+/// produced config is validated, so a bad corner fails the request with a
+/// field-level error instead of surfacing later on a worker.
+fn expand_grid(base: &SystemConfig, grid: &[JsonValue]) -> Result<Vec<SystemConfig>, ApiError> {
+    if grid.is_empty() {
+        return Err(ApiError::bad_request("\"grid\" must not be empty"));
+    }
+    let mut axes = Vec::with_capacity(grid.len());
+    for (i, axis) in grid.iter().enumerate() {
+        let param = axis
+            .get("param")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| ApiError::bad_request(format!("grid[{i}] needs a string \"param\"")))?
+            .to_string();
+        let values = axis
+            .get("values")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| ApiError::bad_request(format!("grid[{i}] needs a \"values\" array")))?
+            .iter()
+            .map(|x| {
+                x.as_f64().ok_or_else(|| {
+                    ApiError::bad_request(format!("grid[{i}].values must be numbers"))
+                })
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        if values.is_empty() {
+            return Err(ApiError::bad_request(format!(
+                "grid[{i}].values must not be empty"
+            )));
+        }
+        axes.push(Axis { param, values });
+    }
+    let total: usize = axes
+        .iter()
+        .try_fold(1usize, |acc, a| acc.checked_mul(a.values.len()))
+        .filter(|&t| t <= MAX_SWEEP_ITEMS)
+        .ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "grid expands past the {MAX_SWEEP_ITEMS}-config limit"
+            ))
+        })?;
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; axes.len()];
+    loop {
+        let mut cfg = base.clone();
+        for (a, &i) in axes.iter().zip(&idx) {
+            cfg = apply_param(&cfg, &a.param, a.values[i])?;
+        }
+        cfg.validate()?;
+        out.push(cfg);
+        // Odometer increment, last axis fastest (row-major).
+        let mut k = axes.len();
+        loop {
+            if k == 0 {
+                return Ok(out);
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < axes[k].values.len() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// The `{"cached":...,"report":...}` body of a successful solve.
+pub fn solve_response(cached: bool, report: &lt_core::metrics::PerformanceReport) -> String {
+    json::encode(&JsonValue::object(vec![
+        ("cached", cached.into()),
+        ("report", wire::report_to_json(report)),
+    ]))
+}
+
+/// One item of a sweep response.
+pub fn sweep_item(
+    result: &Result<(bool, std::sync::Arc<lt_core::metrics::PerformanceReport>), ApiError>,
+) -> JsonValue {
+    match result {
+        Ok((cached, report)) => JsonValue::object(vec![
+            ("ok", true.into()),
+            ("cached", (*cached).into()),
+            ("report", wire::report_to_json(report)),
+        ]),
+        Err(e) => JsonValue::object(vec![
+            ("ok", false.into()),
+            (
+                "error",
+                JsonValue::object(vec![
+                    ("kind", e.kind.as_str().into()),
+                    ("message", e.message.as_str().into()),
+                ]),
+            ),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_json() -> String {
+        json::encode(&wire::config_to_json(&SystemConfig::paper_default()))
+    }
+
+    #[test]
+    fn solve_request_parses_with_defaults() {
+        let body = format!("{{\"config\":{}}}", cfg_json());
+        let req = parse_solve(body.as_bytes()).unwrap();
+        assert_eq!(req.config, SystemConfig::paper_default());
+        assert_eq!(req.solver, SolverChoice::Auto);
+        assert_eq!(req.timeout_ms, None);
+    }
+
+    #[test]
+    fn solve_request_honors_solver_and_timeout() {
+        let body = format!(
+            "{{\"config\":{},\"solver\":\"exact\",\"timeout_ms\":250}}",
+            cfg_json()
+        );
+        let req = parse_solve(body.as_bytes()).unwrap();
+        assert_eq!(req.solver, SolverChoice::Exact);
+        assert_eq!(req.timeout_ms, Some(250));
+    }
+
+    #[test]
+    fn malformed_json_is_bad_request() {
+        let e = parse_solve(b"{not json").unwrap_err();
+        assert_eq!(e.status, 400);
+        assert_eq!(e.kind, "bad_request");
+        assert!(e.body().contains("\"error\""));
+    }
+
+    #[test]
+    fn invalid_config_reports_the_field() {
+        let body = r#"{"config":{"workload":{"n_threads":0,"runlength":1,"p_remote":0.2,
+            "pattern":{"kind":"geometric","p_sw":0.5}},
+            "arch":{"topology":{"kind":"torus","k":4},"memory_latency":1,"switch_delay":1}}}"#;
+        let e = parse_solve(body.as_bytes()).unwrap_err();
+        assert_eq!(e.status, 400);
+        assert_eq!(e.kind, "invalid_field");
+        assert!(e.message.contains("n_threads"), "{}", e.message);
+    }
+
+    #[test]
+    fn sweep_with_explicit_configs() {
+        let body = format!("{{\"configs\":[{0},{0}]}}", cfg_json());
+        let req = parse_sweep(body.as_bytes()).unwrap();
+        assert_eq!(req.configs.len(), 2);
+    }
+
+    #[test]
+    fn sweep_grid_expands_row_major() {
+        let body = format!(
+            "{{\"base\":{},\"grid\":[\
+              {{\"param\":\"workload.n_threads\",\"values\":[2,4]}},\
+              {{\"param\":\"workload.p_remote\",\"values\":[0.1,0.2,0.3]}}]}}",
+            cfg_json()
+        );
+        let req = parse_sweep(body.as_bytes()).unwrap();
+        assert_eq!(req.configs.len(), 6);
+        // Last axis fastest: (2,0.1) (2,0.2) (2,0.3) (4,0.1) ...
+        assert_eq!(req.configs[0].workload.n_threads, 2);
+        assert_eq!(req.configs[0].workload.p_remote, 0.1);
+        assert_eq!(req.configs[2].workload.p_remote, 0.3);
+        assert_eq!(req.configs[3].workload.n_threads, 4);
+        assert_eq!(req.configs[3].workload.p_remote, 0.1);
+    }
+
+    #[test]
+    fn sweep_grid_rejects_bad_corner_upfront() {
+        let body = format!(
+            "{{\"base\":{},\"grid\":[{{\"param\":\"workload.p_remote\",\"values\":[0.1,1.5]}}]}}",
+            cfg_json()
+        );
+        let e = parse_sweep(body.as_bytes()).unwrap_err();
+        assert_eq!(e.kind, "invalid_field");
+        assert!(e.message.contains("p_remote"), "{}", e.message);
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_param_and_oversize() {
+        let body = format!(
+            "{{\"base\":{},\"grid\":[{{\"param\":\"arch.coolness\",\"values\":[1]}}]}}",
+            cfg_json()
+        );
+        assert!(parse_sweep(body.as_bytes())
+            .unwrap_err()
+            .message
+            .contains("arch.coolness"));
+
+        let many: Vec<String> = (0..70).map(|i| format!("{}", i + 1)).collect();
+        let body = format!(
+            "{{\"base\":{base},\"grid\":[\
+              {{\"param\":\"workload.n_threads\",\"values\":[{vals}]}},\
+              {{\"param\":\"workload.runlength\",\"values\":[{vals}]}}]}}",
+            base = cfg_json(),
+            vals = many.join(",")
+        );
+        let e = parse_sweep(body.as_bytes()).unwrap_err();
+        assert!(e.message.contains("limit"), "{}", e.message);
+    }
+
+    #[test]
+    fn sweep_rejects_both_forms_and_neither() {
+        let body = format!("{{\"configs\":[{0}],\"base\":{0},\"grid\":[]}}", cfg_json());
+        assert!(parse_sweep(body.as_bytes())
+            .unwrap_err()
+            .message
+            .contains("not both"));
+        assert!(parse_sweep(b"{}").unwrap_err().message.contains("missing"));
+    }
+
+    #[test]
+    fn tolerance_request_parses_spec() {
+        let body = format!("{{\"config\":{},\"spec\":\"memory\"}}", cfg_json());
+        let req = parse_tolerance(body.as_bytes()).unwrap();
+        assert_eq!(req.spec, IdealSpec::ZeroMemoryDelay);
+        let body = format!("{{\"config\":{}}}", cfg_json());
+        assert_eq!(
+            parse_tolerance(body.as_bytes()).unwrap().spec,
+            IdealSpec::ZeroSwitchDelay,
+            "network ideal is the default"
+        );
+    }
+
+    #[test]
+    fn lt_error_maps_to_status_by_class() {
+        let client: ApiError = lt_core::LtError::InvalidField {
+            field: "x".into(),
+            reason: "y".into(),
+        }
+        .into();
+        assert_eq!(client.status, 400);
+        let server: ApiError = lt_core::LtError::NoConvergence {
+            solver: "amva",
+            iterations: 10,
+            residual: 1.0,
+            trace: vec![1.0],
+        }
+        .into();
+        assert_eq!(server.status, 500);
+        assert_eq!(server.kind, "no_convergence");
+    }
+
+    #[test]
+    fn timeout_error_shape() {
+        let e = ApiError::timeout(50);
+        assert_eq!(e.status, 504);
+        let body = e.body();
+        assert!(body.contains("\"kind\":\"timeout\""), "{body}");
+    }
+}

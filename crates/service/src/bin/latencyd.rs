@@ -1,0 +1,92 @@
+//! The `latencyd` binary: parse flags, bind, serve until killed.
+//!
+//! ```text
+//! latencyd [--addr HOST:PORT] [--workers N] [--cache N] [--timeout-ms N]
+//! ```
+
+use std::process::ExitCode;
+
+use lt_service::{Server, ServerConfig};
+
+const USAGE: &str = "latencyd — model-evaluation service for the latency-tolerance framework
+
+USAGE:
+    latencyd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT   Listen address (default 127.0.0.1:7077; port 0 picks a free port)
+    --workers N        Solve worker threads (default: CPU count, capped at 8)
+    --cache N          Solution-cache capacity in entries, 0 disables (default 1024)
+    --timeout-ms N     Default per-request deadline in milliseconds (default 30000)
+    -h, --help         Print this help
+
+ENDPOINTS:
+    POST /v1/solve      {\"config\":{...},\"solver\":\"auto\",\"timeout_ms\":N}
+    POST /v1/sweep      {\"configs\":[...]} or {\"base\":{...},\"grid\":[...]}
+    POST /v1/tolerance  {\"config\":{...},\"spec\":\"network\"}
+    GET  /healthz
+    GET  /metrics
+";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--cache" => {
+                cfg.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects a non-negative integer".to_string())?;
+            }
+            "--timeout-ms" => {
+                cfg.default_timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms expects a positive integer".to_string())?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("latencyd: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let workers = cfg.workers;
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("latencyd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "latencyd listening on http://{} ({} solve workers)",
+        server.local_addr(),
+        workers
+    );
+    server.run();
+    ExitCode::SUCCESS
+}

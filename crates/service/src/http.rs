@@ -1,0 +1,362 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what `latencyd` needs and
+//! nothing more.
+//!
+//! Supported: request-line + header parsing, `Content-Length` bodies,
+//! keep-alive (HTTP/1.1 default) and `Connection: close`, and response
+//! serialization. Not supported (rejected with a clear status): chunked
+//! request bodies (`411`), bodies over the configured cap (`413`),
+//! malformed framing (`400`). The parser enforces hard limits on line
+//! length and header count so a hostile peer cannot balloon memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request/header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component only (query string stripped).
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after the
+    /// response (the HTTP/1.1 default).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line —
+    /// a normal end of a keep-alive session, not an error to report.
+    Closed,
+    /// Transport failure (includes read timeouts).
+    Io(io::Error),
+    /// The request violates the supported HTTP subset; respond with the
+    /// given status and message, then close.
+    Bad {
+        /// HTTP status to answer with (400, 411, 413, 431).
+        status: u16,
+        /// Human-readable reason, echoed into the error body.
+        message: String,
+    },
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn bad(status: u16, message: impl Into<String>) -> ReadError {
+    ReadError::Bad {
+        status,
+        message: message.into(),
+    }
+}
+
+/// Read one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE`].
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = match reader.read(&mut byte) {
+            Ok(n) => n,
+            Err(e) => return Err(ReadError::Io(e)),
+        };
+        if n == 0 {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad(400, "truncated request line"));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let s = String::from_utf8(line).map_err(|_| bad(400, "non-UTF-8 header data"))?;
+            return Ok(Some(s));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(bad(431, "header line too long"));
+        }
+    }
+}
+
+/// Read and parse one request from the stream. `max_body` caps the
+/// accepted `Content-Length`.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let request_line = match read_line(reader)? {
+        None => return Err(ReadError::Closed),
+        Some(l) if l.is_empty() => return Err(bad(400, "empty request line")),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| bad(400, "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad(400, "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(400, format!("unsupported protocol '{version}'")));
+    }
+    // Strip the query string; latencyd routes on the path alone.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| bad(400, "truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad(431, "too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(400, format!("malformed header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+
+    if let Some(te) = req.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(bad(
+                411,
+                "chunked bodies are not supported; send Content-Length",
+            ));
+        }
+    }
+    let content_length = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| bad(400, format!("invalid Content-Length '{v}'")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(bad(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length];
+        io::Read::read_exact(reader, &mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                bad(400, "body shorter than Content-Length")
+            } else {
+                ReadError::Io(e)
+            }
+        })?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// An HTTP response ready for serialization.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Whether to advertise (and perform) connection close.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+            content_type: "application/json",
+            close: false,
+        }
+    }
+
+    /// Mark the connection for closing after this response.
+    pub fn with_close(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// Serialize to the wire.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.close {
+                "Connection: close\r\n"
+            } else {
+                "Connection: keep-alive\r\n"
+            },
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes latencyd emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_request() {
+        let req = parse("GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz", "query string stripped");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /v1/solve HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn lf_only_line_endings_accepted() {
+        let req = parse("GET /metrics HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn eof_before_request_is_clean_close() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (raw, want_status) in [
+            ("GARBAGE\r\n\r\n", 400),
+            ("GET /x SPDY/3\r\n\r\n", 400),
+            ("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", 413),
+            (
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                411,
+            ),
+            ("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab", 400),
+        ] {
+            match parse(raw) {
+                Err(ReadError::Bad { status, .. }) => {
+                    assert_eq!(status, want_status, "for {raw:?}")
+                }
+                other => panic!("expected Bad for {raw:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_header_line() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        match parse(&raw) {
+            Err(ReadError::Bad { status, .. }) => assert_eq!(status, 431),
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(
+            text.contains("Content-Type: application/json\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        assert_eq!(read_request(&mut reader, 1024).unwrap().path, "/a");
+        assert_eq!(read_request(&mut reader, 1024).unwrap().path, "/b");
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(ReadError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,68 @@
+//! # lt-service — `latencyd`, a model-evaluation service
+//!
+//! A concurrent HTTP/JSON server over the analytical framework in
+//! [`lt_core`]: clients POST a machine configuration and get back the
+//! paper's performance report (processor utilization, observed latencies,
+//! solver diagnostics) or a tolerance index, without linking the solver
+//! into their own process.
+//!
+//! Three layers, each its own module:
+//!
+//! * [`cache`] — a sharded LRU **solution cache** keyed by the canonical
+//!   content address of a (config, solver) pair
+//!   ([`lt_core::wire::canonical_solve_key`]): identical requests are
+//!   answered without re-solving, and the response says so
+//!   (`"cached": true`).
+//! * [`pool`] — the **execution layer**: a fixed worker pool over an MPMC
+//!   channel, a dynamic self-scheduling batch primitive for sweeps with
+//!   skewed per-item costs, per-request deadlines, graceful drain.
+//! * [`metrics`] — **observability**: per-endpoint request/error counters,
+//!   error counts by kind, and latency tails (p50/p95/p99) built from the
+//!   simulation crate's mergeable `Tally` and P² estimators, served at
+//!   `GET /metrics`.
+//!
+//! [`http`] is the transport (a hand-rolled HTTP/1.1 subset on
+//! `TcpListener` — the service adds no dependencies), [`api`] the request
+//! schemas, [`server`] the accept loop and endpoint dispatch, and
+//! `src/bin/latencyd.rs` the binary.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint            | Body                                             |
+//! |---------------------|--------------------------------------------------|
+//! | `POST /v1/solve`    | `{"config":{...},"solver":"auto","timeout_ms":N}`|
+//! | `POST /v1/sweep`    | `{"configs":[...]}` or `{"base":{...},"grid":[{"param":"workload.n_threads","values":[2,4,8]}]}` |
+//! | `POST /v1/tolerance`| `{"config":{...},"spec":"network"}`              |
+//! | `GET /healthz`      | —                                                |
+//! | `GET /metrics`      | —                                                |
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use lt_service::{Server, ServerConfig};
+//!
+//! let handle = Server::bind(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // port 0: pick a free port
+//!     workers: 2,
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap()
+//! .spawn();
+//! let addr = handle.addr(); // POST http://{addr}/v1/solve ...
+//! # let _ = addr;
+//! let summary = handle.shutdown();
+//! assert!(summary.contains("latencyd shutdown"));
+//! ```
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use api::ApiError;
+pub use cache::{CacheStats, SolveCache};
+pub use metrics::{LatencySummary, ServiceMetrics};
+pub use pool::{BatchError, WorkerPool};
+pub use server::{Server, ServerConfig, ServerHandle, ServiceState};

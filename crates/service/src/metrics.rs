@@ -1,0 +1,352 @@
+//! Service observability: request/error counters per endpoint, error
+//! counts by kind, and latency histograms (mean + p50/p95/p99) built on
+//! the simulation crate's mergeable statistics.
+//!
+//! The latency path is designed for concurrent handlers: each connection
+//! thread records into one of a fixed set of shards (assigned round-robin
+//! at first use, held in a thread-local), so the hot path takes an
+//! uncontended-in-expectation mutex. A `/metrics` scrape merges the
+//! shards into one view using `Tally::merge` (exact) and
+//! `P2Quantile::merge` (approximate, error on the order of P² itself).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lt_core::json::JsonValue;
+use lt_desim::{P2Quantile, Tally};
+
+/// Latency shards; more than any sane worker count so scrape merges stay
+/// cheap while contention stays near zero.
+const LATENCY_SHARDS: usize = 16;
+
+/// The endpoints latencyd serves, in display order.
+pub const ENDPOINTS: [&str; 5] = ["solve", "sweep", "tolerance", "healthz", "metrics"];
+
+/// Error kinds counted by the service: the `LtError::kind` labels plus
+/// the service-level kinds (timeout, bad_request, not_found, internal).
+pub const ERROR_KINDS: [&str; 10] = [
+    "invalid_config",
+    "invalid_field",
+    "no_convergence",
+    "problem_too_large",
+    "degenerate_model",
+    "unsupported",
+    "timeout",
+    "bad_request",
+    "not_found",
+    "internal",
+];
+
+/// One endpoint's counters.
+#[derive(Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// One latency shard: a tally for mean/extremes plus three P² tails.
+struct LatencyShard {
+    tally: Tally,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl LatencyShard {
+    fn new() -> Self {
+        LatencyShard {
+            tally: Tally::new(),
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    fn record(&mut self, millis: f64) {
+        self.tally.record(millis);
+        self.p50.record(millis);
+        self.p95.record(millis);
+        self.p99.record(millis);
+    }
+
+    fn merge(&mut self, other: &LatencyShard) {
+        self.tally.merge(&other.tally);
+        self.p50.merge(&other.p50);
+        self.p95.merge(&other.p95);
+        self.p99.merge(&other.p99);
+    }
+}
+
+/// Merged latency view returned by [`ServiceMetrics::latency_summary`].
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Largest observed latency in milliseconds.
+    pub max_ms: f64,
+    /// Median estimate (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile estimate (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile estimate (ms).
+    pub p99_ms: f64,
+}
+
+/// All service counters; shared behind an `Arc` by every handler thread.
+pub struct ServiceMetrics {
+    endpoints: [EndpointCounters; ENDPOINTS.len()],
+    error_kinds: [AtomicU64; ERROR_KINDS.len()],
+    latency: [Mutex<LatencyShard>; LATENCY_SHARDS],
+    next_shard: AtomicUsize,
+}
+
+thread_local! {
+    /// The latency shard this thread records into (assigned on first use).
+    static MY_SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        ServiceMetrics {
+            endpoints: std::array::from_fn(|_| EndpointCounters::default()),
+            error_kinds: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| Mutex::new(LatencyShard::new())),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    fn endpoint_index(endpoint: &str) -> Option<usize> {
+        ENDPOINTS.iter().position(|e| *e == endpoint)
+    }
+
+    /// Count one request to `endpoint` (unknown endpoints are ignored).
+    pub fn record_request(&self, endpoint: &str) {
+        if let Some(i) = Self::endpoint_index(endpoint) {
+            self.endpoints[i].requests.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one error on `endpoint` with the given kind label. Unknown
+    /// kinds fold into `internal` so nothing is silently dropped.
+    pub fn record_error(&self, endpoint: &str, kind: &str) {
+        if let Some(i) = Self::endpoint_index(endpoint) {
+            self.endpoints[i].errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let k = ERROR_KINDS
+            .iter()
+            .position(|e| *e == kind)
+            .unwrap_or(ERROR_KINDS.len() - 1);
+        self.error_kinds[k].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's wall-clock latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let shard = MY_SHARD.with(|cell| {
+            if cell.get() == usize::MAX {
+                let s = self.next_shard.fetch_add(1, Ordering::Relaxed) % LATENCY_SHARDS;
+                cell.set(s);
+            }
+            cell.get()
+        });
+        let ms = elapsed.as_secs_f64() * 1e3;
+        self.latency[shard]
+            .lock()
+            .expect("latency shard poisoned")
+            .record(ms);
+    }
+
+    /// Requests seen on `endpoint`.
+    pub fn requests(&self, endpoint: &str) -> u64 {
+        Self::endpoint_index(endpoint)
+            .map(|i| self.endpoints[i].requests.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Errors seen on `endpoint`.
+    pub fn errors(&self, endpoint: &str) -> u64 {
+        Self::endpoint_index(endpoint)
+            .map(|i| self.endpoints[i].errors.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Errors counted under `kind`.
+    pub fn errors_of_kind(&self, kind: &str) -> u64 {
+        ERROR_KINDS
+            .iter()
+            .position(|e| *e == kind)
+            .map(|i| self.error_kinds[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Merge the latency shards into one summary.
+    pub fn latency_summary(&self) -> LatencySummary {
+        let mut merged = LatencyShard::new();
+        for shard in &self.latency {
+            merged.merge(&shard.lock().expect("latency shard poisoned"));
+        }
+        let count = merged.tally.count();
+        LatencySummary {
+            count,
+            mean_ms: merged.tally.mean(),
+            max_ms: if count == 0 { 0.0 } else { merged.tally.max() },
+            p50_ms: merged.p50.estimate(),
+            p95_ms: merged.p95.estimate(),
+            p99_ms: merged.p99.estimate(),
+        }
+    }
+
+    /// The `/metrics` document (cache stats are appended by the server,
+    /// which owns the cache).
+    pub fn to_json(&self, extra: Vec<(&str, JsonValue)>) -> JsonValue {
+        let endpoints = JsonValue::Object(
+            ENDPOINTS
+                .iter()
+                .map(|e| {
+                    (
+                        (*e).to_string(),
+                        JsonValue::object(vec![
+                            ("requests", JsonValue::from(self.requests(e))),
+                            ("errors", JsonValue::from(self.errors(e))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let errors = JsonValue::Object(
+            ERROR_KINDS
+                .iter()
+                .map(|k| ((*k).to_string(), JsonValue::from(self.errors_of_kind(k))))
+                .collect(),
+        );
+        let lat = self.latency_summary();
+        let latency = JsonValue::object(vec![
+            ("count", JsonValue::from(lat.count)),
+            ("mean_ms", JsonValue::from(lat.mean_ms)),
+            ("max_ms", JsonValue::from(lat.max_ms)),
+            ("p50_ms", JsonValue::from(lat.p50_ms)),
+            ("p95_ms", JsonValue::from(lat.p95_ms)),
+            ("p99_ms", JsonValue::from(lat.p99_ms)),
+        ]);
+        let mut fields = vec![
+            ("endpoints", endpoints),
+            ("errors_by_kind", errors),
+            ("latency", latency),
+        ];
+        fields.extend(extra);
+        JsonValue::object(fields)
+    }
+
+    /// One-line human summary, logged at shutdown.
+    pub fn summary_line(&self) -> String {
+        let total: u64 = ENDPOINTS.iter().map(|e| self.requests(e)).sum();
+        let errors: u64 = ENDPOINTS.iter().map(|e| self.errors(e)).sum();
+        let lat = self.latency_summary();
+        format!(
+            "requests={total} errors={errors} latency_ms(mean={:.2} p50={:.2} p95={:.2} p99={:.2} max={:.2} n={})",
+            lat.mean_ms, lat.p50_ms, lat.p95_ms, lat.p99_ms, lat.max_ms, lat.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_track_per_endpoint() {
+        let m = ServiceMetrics::new();
+        m.record_request("solve");
+        m.record_request("solve");
+        m.record_request("sweep");
+        m.record_error("solve", "invalid_field");
+        assert_eq!(m.requests("solve"), 2);
+        assert_eq!(m.requests("sweep"), 1);
+        assert_eq!(m.errors("solve"), 1);
+        assert_eq!(m.errors("sweep"), 0);
+        assert_eq!(m.errors_of_kind("invalid_field"), 1);
+    }
+
+    #[test]
+    fn unknown_error_kind_folds_into_internal() {
+        let m = ServiceMetrics::new();
+        m.record_error("solve", "something_novel");
+        assert_eq!(m.errors_of_kind("internal"), 1);
+    }
+
+    #[test]
+    fn latency_summary_merges_across_threads() {
+        let m = Arc::new(ServiceMetrics::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        // Deterministic spread of latencies 1..=500 ms.
+                        let ms = ((i + t * 37) % 500 + 1) as u64;
+                        m.record_latency(Duration::from_millis(ms));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let lat = m.latency_summary();
+        assert_eq!(lat.count, 8 * 500);
+        assert!(
+            lat.mean_ms > 200.0 && lat.mean_ms < 300.0,
+            "{}",
+            lat.mean_ms
+        );
+        assert!(lat.p50_ms > 150.0 && lat.p50_ms < 350.0, "{}", lat.p50_ms);
+        assert!(lat.p95_ms > lat.p50_ms);
+        assert!(lat.p99_ms >= lat.p95_ms);
+        assert!(lat.max_ms <= 500.0 + 1e-9);
+    }
+
+    #[test]
+    fn to_json_has_the_metrics_schema() {
+        let m = ServiceMetrics::new();
+        m.record_request("solve");
+        m.record_latency(Duration::from_millis(10));
+        let doc = m.to_json(vec![("cache", JsonValue::object(vec![]))]);
+        let text = lt_core::json::encode(&doc);
+        let back = lt_core::json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("endpoints")
+                .and_then(|e| e.get("solve"))
+                .and_then(|s| s.get("requests"))
+                .and_then(|r| r.as_u64()),
+            Some(1)
+        );
+        for field in ["count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"] {
+            assert!(
+                back.get("latency").and_then(|l| l.get(field)).is_some(),
+                "missing latency.{field}"
+            );
+        }
+        assert!(back.get("cache").is_some());
+        assert!(back
+            .get("errors_by_kind")
+            .and_then(|e| e.get("timeout"))
+            .is_some());
+    }
+
+    #[test]
+    fn summary_line_mentions_request_count() {
+        let m = ServiceMetrics::new();
+        m.record_request("solve");
+        assert!(m.summary_line().contains("requests=1"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The execution layer: a fixed worker pool over an MPMC channel, with a
+//! dynamic self-scheduling batch primitive for skewed workloads.
+//!
+//! * Single solves go through [`WorkerPool::execute`], which returns a
+//!   one-shot receiver the connection handler can `recv_timeout` on —
+//!   that is where per-request deadlines are enforced (a solve that blows
+//!   its deadline keeps running to completion on the worker, but the
+//!   handler answers `504` immediately and the result is discarded; jobs
+//!   check their deadline *before* starting so an expired queue entry
+//!   never occupies a worker).
+//! * Batches (the sweep endpoint) go through [`WorkerPool::run_batch`]:
+//!   `min(workers, items)` pool jobs share an atomic next-item counter, so
+//!   per-item cost skew (near-saturation configs are far slower than
+//!   light-load ones) never leaves a worker idle while another drags a
+//!   long static chunk — the same scheduling argument as
+//!   `lt_core::sweep::Schedule::Dynamic`, but on pool threads.
+//! * [`WorkerPool::shutdown`] closes the channel and joins the workers;
+//!   already-queued jobs are drained, not dropped (graceful shutdown).
+//!
+//! The MPMC channel is std's mpsc with the receiver behind a mutex — the
+//! standard dependency-free construction; hold times are one queue pop.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of named worker threads.
+pub struct WorkerPool {
+    sender: Mutex<Option<Sender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+    submitted: AtomicU64,
+    completed: Arc<AtomicU64>,
+}
+
+/// Why a batch run did not return results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The deadline expired before every item finished.
+    TimedOut,
+    /// The pool is shutting down and accepted no work.
+    ShuttingDown,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let completed = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let completed = Arc::clone(&completed);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("latencyd-worker-{i}"))
+                    .spawn(move || loop {
+                        // Take the next job; exit when the channel is
+                        // closed *and* drained.
+                        let job = match rx.lock().expect("pool receiver poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        };
+                        job();
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        WorkerPool {
+            sender: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            workers,
+            submitted: AtomicU64::new(0),
+            completed,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs accepted so far.
+    pub fn jobs_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs fully executed so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Queue a job. Returns `false` (job not queued) after [`shutdown`].
+    ///
+    /// [`shutdown`]: WorkerPool::shutdown
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) -> bool {
+        let guard = self.sender.lock().expect("pool sender poisoned");
+        match guard.as_ref() {
+            Some(tx) if tx.send(Box::new(f)).is_ok() => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Run `f` on the pool and get a one-shot receiver for its result.
+    /// If the caller stops listening (deadline), the worker's send fails
+    /// silently and the result is discarded.
+    pub fn execute<T, F>(&self, f: F) -> Option<Receiver<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        if self.submit(move || {
+            let _ = tx.send(f());
+        }) {
+            Some(rx)
+        } else {
+            None
+        }
+    }
+
+    /// Run `f(0..n)` across the pool with dynamic (atomic-counter)
+    /// scheduling, preserving item order in the result. Blocks until all
+    /// items finish or `deadline` passes; on timeout the remaining items
+    /// are cancelled (claimed-but-running items finish and are discarded).
+    pub fn run_batch<T, F>(&self, n: usize, deadline: Instant, f: F) -> Result<Vec<T>, BatchError>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        struct BatchState<T, F> {
+            next: AtomicUsize,
+            results: Mutex<Vec<Option<T>>>,
+            tasks_left: AtomicUsize,
+            done_tx: Mutex<Option<Sender<()>>>,
+            cancelled: AtomicBool,
+            f: F,
+            n: usize,
+        }
+        let (done_tx, done_rx) = channel();
+        let tasks = self.workers.min(n);
+        let mut results = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let state = Arc::new(BatchState {
+            next: AtomicUsize::new(0),
+            results: Mutex::new(results),
+            tasks_left: AtomicUsize::new(tasks),
+            done_tx: Mutex::new(Some(done_tx)),
+            cancelled: AtomicBool::new(false),
+            f,
+            n,
+        });
+
+        fn finish_task<T, F>(state: &BatchState<T, F>) {
+            if state.tasks_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                if let Some(tx) = state.done_tx.lock().expect("batch done_tx poisoned").take() {
+                    let _ = tx.send(());
+                }
+            }
+        }
+
+        let mut any_submitted = false;
+        for _ in 0..tasks {
+            let task_state = Arc::clone(&state);
+            let ok = self.submit(move || {
+                loop {
+                    if task_state.cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = task_state.next.fetch_add(1, Ordering::Relaxed);
+                    if i >= task_state.n {
+                        break;
+                    }
+                    let value = (task_state.f)(i);
+                    task_state.results.lock().expect("batch results poisoned")[i] = Some(value);
+                }
+                finish_task(&task_state);
+            });
+            if ok {
+                any_submitted = true;
+            } else {
+                // A failed submit counts as an instantly finished task so
+                // the done signal still fires once the live tasks drain.
+                finish_task(&state);
+            }
+        }
+        if !any_submitted {
+            return Err(BatchError::ShuttingDown);
+        }
+
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match done_rx.recv_timeout(wait) {
+            Ok(()) => {
+                let mut slots = state.results.lock().expect("batch results poisoned");
+                let out: Vec<T> = slots
+                    .iter_mut()
+                    .map(|s| s.take())
+                    .collect::<Option<_>>()
+                    .expect("all batch slots filled by completed tasks");
+                Ok(out)
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                state.cancelled.store(true, Ordering::Relaxed);
+                Err(BatchError::TimedOut)
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // All tasks finished via failed-submit path without results.
+                Err(BatchError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Close the queue and join the workers. Queued jobs are drained first
+    /// (graceful). Idempotent.
+    pub fn shutdown(&self) {
+        self.sender.lock().expect("pool sender poisoned").take();
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("pool handles poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn execute_returns_result() {
+        let pool = WorkerPool::new(2);
+        let rx = pool.execute(|| 21 * 2).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        assert_eq!(pool.jobs_submitted(), 1);
+    }
+
+    #[test]
+    fn run_batch_preserves_order_under_skew() {
+        let pool = WorkerPool::new(4);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let out = pool
+            .run_batch(100, deadline, |i| {
+                if i % 9 == 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                i * 3
+            })
+            .unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_batch_empty() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u32> = pool
+            .run_batch(0, Instant::now() + Duration::from_secs(1), |_| 0u32)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_batch_times_out_instead_of_hanging() {
+        let pool = WorkerPool::new(2);
+        let started = Instant::now();
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let err = pool
+            .run_batch(64, deadline, |_| {
+                std::thread::sleep(Duration::from_millis(20));
+            })
+            .unwrap_err();
+        assert_eq!(err, BatchError::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout must fire promptly"
+        );
+        // Cancellation means the pool drains quickly despite 64 items.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            assert!(pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 20, "graceful drain");
+        assert!(!pool.submit(|| {}), "no work accepted after shutdown");
+        assert!(pool.execute(|| 1).is_none());
+    }
+
+    #[test]
+    fn run_batch_after_shutdown_reports_shutting_down() {
+        let pool = WorkerPool::new(2);
+        pool.shutdown();
+        let err = pool
+            .run_batch(4, Instant::now() + Duration::from_secs(1), |i| i)
+            .unwrap_err();
+        assert_eq!(err, BatchError::ShuttingDown);
+    }
+
+    #[test]
+    fn concurrency_actually_happens() {
+        // 4 workers, 4 jobs of 50ms each: wall time well under 4 * 50ms.
+        let pool = WorkerPool::new(4);
+        let t0 = Instant::now();
+        let rxs: Vec<_> = (0..4)
+            .map(|_| {
+                pool.execute(|| std::thread::sleep(Duration::from_millis(50)))
+                    .unwrap()
+            })
+            .collect();
+        for rx in rxs {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(150),
+            "jobs must overlap: {:?}",
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! The `latencyd` server: a TCP accept loop, thread-per-connection HTTP
+//! handling, and the dispatch of the five endpoints onto the solve worker
+//! pool, the solution cache, and the metrics registry.
+//!
+//! Threading model: connection threads do I/O and parsing only; every
+//! solve runs on the fixed [`WorkerPool`], so `workers` bounds analytical
+//! CPU use no matter how many clients connect. Connection threads never
+//! execute pool jobs, so a handler blocking on a pool result cannot
+//! deadlock the pool.
+//!
+//! Deadlines: each request gets `timeout_ms` (body field, else the server
+//! default). The handler waits on the pool result with `recv_timeout` and
+//! answers a structured `504 {"error":{"kind":"timeout",...}}` when it
+//! expires; a queued job that finds its deadline already past returns
+//! without solving, so expired work never occupies a worker.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lt_core::analysis::solve_with;
+use lt_core::json::{self, JsonValue};
+use lt_core::metrics::PerformanceReport;
+use lt_core::tolerance::{tolerance_index, ToleranceReport};
+use lt_core::wire::{canonical_solve_key, tolerance_to_json};
+use lt_core::LtError;
+
+use crate::api::{self, ApiError};
+use crate::cache::SolveCache;
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::metrics::ServiceMetrics;
+use crate::pool::{BatchError, WorkerPool};
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7077` (port 0 picks a free port).
+    pub addr: String,
+    /// Solve worker threads.
+    pub workers: usize,
+    /// Solution-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request carries no `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7077".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            cache_capacity: 1024,
+            default_timeout_ms: 30_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Hard ceiling on any per-request deadline.
+const MAX_TIMEOUT_MS: u64 = 600_000;
+/// Idle keep-alive connections are dropped after this long.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long shutdown waits for in-flight connections to finish.
+const DRAIN_WAIT: Duration = Duration::from_secs(5);
+
+/// Shared service state: pool, cache, metrics, lifecycle flags.
+pub struct ServiceState {
+    pool: WorkerPool,
+    cache: SolveCache<Arc<PerformanceReport>>,
+    /// Request/error/latency counters (public for tests and the binary).
+    pub metrics: ServiceMetrics,
+    shutting_down: AtomicBool,
+    active_connections: AtomicUsize,
+    default_timeout_ms: u64,
+    max_body_bytes: usize,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServiceState>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listener and build the service state.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            state: Arc::new(ServiceState {
+                pool: WorkerPool::new(cfg.workers),
+                cache: SolveCache::new(cfg.cache_capacity),
+                metrics: ServiceMetrics::new(),
+                shutting_down: AtomicBool::new(false),
+                active_connections: AtomicUsize::new(0),
+                default_timeout_ms: cfg.default_timeout_ms.min(MAX_TIMEOUT_MS),
+                max_body_bytes: cfg.max_body_bytes,
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Run the accept loop on the current thread until shutdown is
+    /// requested (via a [`ServerHandle`] or the shutting-down flag).
+    pub fn run(&self) {
+        for conn in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&self.state);
+            self.state.active_connections.fetch_add(1, Ordering::SeqCst);
+            let _ = std::thread::Builder::new()
+                .name("latencyd-conn".into())
+                .spawn(move || {
+                    handle_connection(&state, stream);
+                    state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                });
+        }
+    }
+
+    /// Run the accept loop on a background thread and return a handle for
+    /// the bound address and graceful shutdown.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr;
+        let state = Arc::clone(&self.state);
+        let accept_thread = std::thread::Builder::new()
+            .name("latencyd-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn accept thread");
+        ServerHandle {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (metrics inspection in tests).
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, wait for in-flight connections
+    /// (bounded), drain the worker pool, and return a one-line metrics
+    /// summary.
+    pub fn shutdown(mut self) -> String {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + DRAIN_WAIT;
+        while self.state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.pool.shutdown();
+        let cache = self.state.cache.stats();
+        format!(
+            "latencyd shutdown: {} cache(hits={} misses={} entries={})",
+            self.state.metrics.summary_line(),
+            cache.hits,
+            cache.misses,
+            cache.entries,
+        )
+    }
+}
+
+fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader, state.max_body_bytes) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Bad { status, message }) => {
+                state.metrics.record_error("", "bad_request");
+                let err = ApiError {
+                    status,
+                    kind: "bad_request".into(),
+                    message,
+                };
+                let _ = Response::json(err.status, err.body())
+                    .with_close()
+                    .write_to(&mut writer);
+                return;
+            }
+        };
+        let keep_alive = req.keep_alive() && !state.shutting_down.load(Ordering::SeqCst);
+        let started = Instant::now();
+        let mut resp = dispatch(state, &req);
+        state.metrics.record_latency(started.elapsed());
+        if !keep_alive {
+            resp = resp.with_close();
+        }
+        if resp.write_to(&mut writer).is_err() {
+            return;
+        }
+        if resp.close {
+            return;
+        }
+    }
+}
+
+/// Route one request. Also owns the request/error accounting.
+fn dispatch(state: &Arc<ServiceState>, req: &Request) -> Response {
+    let endpoint = match req.path.as_str() {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/v1/solve" => "solve",
+        "/v1/sweep" => "sweep",
+        "/v1/tolerance" => "tolerance",
+        _ => {
+            state.metrics.record_error("", "not_found");
+            let err = ApiError {
+                status: 404,
+                kind: "not_found".into(),
+                message: format!("no such endpoint: {}", req.path),
+            };
+            return Response::json(404, err.body());
+        }
+    };
+    state.metrics.record_request(endpoint);
+    let want_post = matches!(endpoint, "solve" | "sweep" | "tolerance");
+    if (want_post && req.method != "POST") || (!want_post && req.method != "GET") {
+        state.metrics.record_error(endpoint, "bad_request");
+        let err = ApiError {
+            status: 405,
+            kind: "bad_request".into(),
+            message: format!(
+                "{} expects {}",
+                req.path,
+                if want_post { "POST" } else { "GET" }
+            ),
+        };
+        return Response::json(405, err.body());
+    }
+    let result = match endpoint {
+        "healthz" => Ok(handle_healthz(state)),
+        "metrics" => Ok(handle_metrics(state)),
+        "solve" => handle_solve(state, &req.body),
+        "sweep" => handle_sweep(state, &req.body),
+        "tolerance" => handle_tolerance(state, &req.body),
+        _ => unreachable!(),
+    };
+    match result {
+        Ok(resp) => resp,
+        Err(e) => {
+            state.metrics.record_error(endpoint, &e.kind);
+            Response::json(e.status, e.body())
+        }
+    }
+}
+
+fn handle_healthz(state: &ServiceState) -> Response {
+    let body = json::encode(&JsonValue::object(vec![
+        ("status", "ok".into()),
+        ("workers", state.pool.worker_count().into()),
+        (
+            "shutting_down",
+            state.shutting_down.load(Ordering::SeqCst).into(),
+        ),
+    ]));
+    Response::json(200, body)
+}
+
+fn handle_metrics(state: &ServiceState) -> Response {
+    let c = state.cache.stats();
+    let cache = JsonValue::object(vec![
+        ("hits", c.hits.into()),
+        ("misses", c.misses.into()),
+        ("insertions", c.insertions.into()),
+        ("evictions", c.evictions.into()),
+        ("entries", c.entries.into()),
+        ("capacity", c.capacity.into()),
+    ]);
+    let pool = JsonValue::object(vec![
+        ("workers", state.pool.worker_count().into()),
+        ("jobs_submitted", state.pool.jobs_submitted().into()),
+        ("jobs_completed", state.pool.jobs_completed().into()),
+    ]);
+    let doc = state
+        .metrics
+        .to_json(vec![("cache", cache), ("pool", pool)]);
+    Response::json(200, json::encode(&doc))
+}
+
+/// Deadline for a request: its own `timeout_ms` or the server default.
+fn deadline_for(state: &ServiceState, timeout_ms: Option<u64>) -> (Instant, u64) {
+    let ms = timeout_ms
+        .unwrap_or(state.default_timeout_ms)
+        .min(MAX_TIMEOUT_MS);
+    (Instant::now() + Duration::from_millis(ms), ms)
+}
+
+/// Run `f(state)` on the solve pool; `None` when the pool is closed.
+fn run_on_pool<T, F>(state: &Arc<ServiceState>, f: F) -> Option<std::sync::mpsc::Receiver<T>>
+where
+    T: Send + 'static,
+    F: FnOnce(Arc<ServiceState>) -> T + Send + 'static,
+{
+    let shared = Arc::clone(state);
+    state.pool.execute(move || f(shared))
+}
+
+fn handle_solve(state: &Arc<ServiceState>, body: &[u8]) -> Result<Response, ApiError> {
+    let req = api::parse_solve(body)?;
+    let key = canonical_solve_key(&req.config, req.solver);
+    if let Some(report) = state.cache.get(&key) {
+        return Ok(Response::json(200, api::solve_response(true, &report)));
+    }
+    let (deadline, ms) = deadline_for(state, req.timeout_ms);
+    let job = {
+        let cache_key = key;
+        let cfg = req.config;
+        let solver = req.solver;
+        move |state: Arc<ServiceState>| -> Option<Result<Arc<PerformanceReport>, LtError>> {
+            if Instant::now() >= deadline {
+                return None;
+            }
+            let result = solve_with(&cfg, solver).map(Arc::new);
+            if let Ok(report) = &result {
+                state.cache.insert(cache_key, Arc::clone(report));
+            }
+            Some(result)
+        }
+    };
+    let rx = run_on_pool(state, job).ok_or_else(service_unavailable)?;
+    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+        Ok(Some(Ok(report))) => Ok(Response::json(200, api::solve_response(false, &report))),
+        Ok(Some(Err(e))) => Err(e.into()),
+        Ok(None) => Err(ApiError::timeout(ms)),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(ApiError::timeout(ms)),
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(service_unavailable()),
+    }
+}
+
+fn handle_sweep(state: &Arc<ServiceState>, body: &[u8]) -> Result<Response, ApiError> {
+    let req = api::parse_sweep(body)?;
+    let (deadline, ms) = deadline_for(state, req.timeout_ms);
+    let n = req.configs.len();
+    let configs = Arc::new(req.configs);
+    let solver = req.solver;
+    let shared = Arc::clone(state);
+    let results = state
+        .pool
+        .run_batch(n, deadline, move |i| {
+            let cfg = &configs[i];
+            let key = canonical_solve_key(cfg, solver);
+            if let Some(report) = shared.cache.get(&key) {
+                return Ok((true, report));
+            }
+            match solve_with(cfg, solver).map(Arc::new) {
+                Ok(report) => {
+                    shared.cache.insert(key, Arc::clone(&report));
+                    Ok((false, report))
+                }
+                Err(e) => Err(ApiError::from(e)),
+            }
+        })
+        .map_err(|e| match e {
+            BatchError::TimedOut => ApiError::timeout(ms),
+            BatchError::ShuttingDown => service_unavailable(),
+        })?;
+    let items: Vec<JsonValue> = results.iter().map(api::sweep_item).collect();
+    let body = json::encode(&JsonValue::object(vec![
+        ("count", results.len().into()),
+        ("results", JsonValue::Array(items)),
+    ]));
+    Ok(Response::json(200, body))
+}
+
+fn handle_tolerance(state: &Arc<ServiceState>, body: &[u8]) -> Result<Response, ApiError> {
+    let req = api::parse_tolerance(body)?;
+    let (deadline, ms) = deadline_for(state, req.timeout_ms);
+    let job = move |_state: Arc<ServiceState>| -> Option<Result<ToleranceReport, LtError>> {
+        if Instant::now() >= deadline {
+            return None;
+        }
+        Some(tolerance_index(&req.config, req.spec))
+    };
+    let rx = run_on_pool(state, job).ok_or_else(service_unavailable)?;
+    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+        Ok(Some(Ok(tol))) => {
+            let body = json::encode(&JsonValue::object(vec![(
+                "tolerance",
+                tolerance_to_json(&tol),
+            )]));
+            Ok(Response::json(200, body))
+        }
+        Ok(Some(Err(e))) => Err(e.into()),
+        Ok(None) => Err(ApiError::timeout(ms)),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(ApiError::timeout(ms)),
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(service_unavailable()),
+    }
+}
+
+fn service_unavailable() -> ApiError {
+    ApiError {
+        status: 503,
+        kind: "internal".into(),
+        message: "service is shutting down".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_server() -> ServerHandle {
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_capacity: 64,
+            default_timeout_ms: 10_000,
+            max_body_bytes: 1 << 20,
+        })
+        .unwrap()
+        .spawn()
+    }
+
+    #[test]
+    fn healthz_answers_ok() {
+        let h = test_server();
+        let resp = request(
+            h.addr(),
+            "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        let summary = h.shutdown();
+        assert!(summary.contains("requests=1"), "{summary}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_metrics_count_it() {
+        let h = test_server();
+        let resp = request(h.addr(), "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("\"kind\":\"not_found\""), "{resp}");
+        assert_eq!(h.state().metrics.errors_of_kind("not_found"), 1);
+        h.shutdown();
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        let h = test_server();
+        let resp = request(
+            h.addr(),
+            "GET /v1/solve HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_clean_with_no_traffic() {
+        let h = test_server();
+        let summary = h.shutdown();
+        assert!(summary.contains("latencyd shutdown"), "{summary}");
+    }
+}

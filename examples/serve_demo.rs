@@ -1,0 +1,108 @@
+//! Start `latencyd` in-process, issue a few requests over loopback, and
+//! show the solution cache and latency metrics at work.
+//!
+//! Run with: `cargo run --example serve_demo`
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use lt_core::prelude::*;
+use lt_core::wire;
+use lt_service::{Server, ServerConfig};
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(
+        s,
+        "POST {path} HTTP/1.1\r\nHost: demo\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    read_body(s)
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    read_body(s)
+}
+
+fn read_body(stream: TcpStream) -> String {
+    let mut reader = BufReader::new(stream);
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    String::from_utf8(body).unwrap()
+}
+
+fn main() {
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+    println!("latencyd on http://{addr}\n");
+
+    // One solve of the paper's default machine...
+    let cfg = SystemConfig::paper_default();
+    let body = format!("{{\"config\":{}}}", wire::config_to_json(&cfg).encode());
+    println!("POST /v1/solve (first time, solved on a worker):");
+    println!("  {}\n", truncate(&post(addr, "/v1/solve", &body), 120));
+
+    // ...and the same request again: served from the solution cache.
+    println!("POST /v1/solve (same config, cache hit):");
+    println!("  {}\n", truncate(&post(addr, "/v1/solve", &body), 120));
+
+    // A thread-count sweep as a parameter grid.
+    let sweep = format!(
+        "{{\"base\":{},\"grid\":[{{\"param\":\"workload.n_threads\",\"values\":[1,2,4,8,16]}}]}}",
+        wire::config_to_json(&cfg).encode()
+    );
+    println!("POST /v1/sweep (n_threads grid 1..16):");
+    println!("  {}\n", truncate(&post(addr, "/v1/sweep", &sweep), 120));
+
+    // Tolerance of the network latency against the zero-delay network.
+    let tol = format!(
+        "{{\"config\":{},\"spec\":\"network\"}}",
+        wire::config_to_json(&cfg).encode()
+    );
+    println!("POST /v1/tolerance:");
+    println!("  {}\n", post(addr, "/v1/tolerance", &tol));
+
+    // The metrics document: counters, cache stats, latency tails.
+    println!("GET /metrics:");
+    println!("  {}\n", truncate(&get(addr, "/metrics"), 400));
+
+    println!("{}", handle.shutdown());
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        let mut end = n;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}

@@ -1,0 +1,362 @@
+//! Loopback integration tests for `latencyd`: real sockets, real HTTP,
+//! the full service stack (parser → pool → cache → metrics).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lt_core::json::{self, JsonValue};
+use lt_core::prelude::*;
+use lt_core::wire;
+use lt_service::{Server, ServerConfig};
+
+/// Minimal HTTP client: one request, parse status and body.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, JsonValue) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Read one HTTP response (status + Content-Length-framed body).
+fn read_response(reader: &mut impl BufRead) -> (u16, JsonValue) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    (status, json::parse(&text).expect("response is JSON"))
+}
+
+fn start(workers: usize) -> lt_service::ServerHandle {
+    Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        cache_capacity: 256,
+        default_timeout_ms: 60_000,
+        max_body_bytes: 1 << 20,
+    })
+    .expect("bind")
+    .spawn()
+}
+
+fn config_body(cfg: &SystemConfig) -> String {
+    format!("{{\"config\":{}}}", wire::config_to_json(cfg).encode())
+}
+
+#[test]
+fn concurrent_solves_cache_hits_and_metrics() {
+    let handle = start(4);
+    let addr = handle.addr();
+
+    // 64 concurrent solves over 4 workers: 32 distinct configs, each
+    // requested twice, so the second round can be served from cache.
+    let configs: Vec<SystemConfig> = (0..32)
+        .map(|i| {
+            SystemConfig::paper_default()
+                .with_n_threads(1 + (i % 16))
+                .with_p_remote(0.05 + 0.02 * (i / 16) as f64)
+        })
+        .collect();
+    let expected: Vec<f64> = configs.iter().map(|c| solve(c).unwrap().u_p).collect();
+
+    let configs = Arc::new(configs);
+    let threads: Vec<_> = (0..64)
+        .map(|t| {
+            let configs = Arc::clone(&configs);
+            std::thread::spawn(move || {
+                let cfg = &configs[t % 32];
+                let (status, v) = http(addr, "POST", "/v1/solve", Some(&config_body(cfg)));
+                assert_eq!(status, 200, "solve {t}: {}", v.encode());
+                let u_p = v
+                    .get("report")
+                    .and_then(|r| r.get("u_p"))
+                    .and_then(|x| x.as_f64())
+                    .expect("report.u_p");
+                (t % 32, u_p)
+            })
+        })
+        .collect();
+    for t in threads {
+        let (i, u_p) = t.join().unwrap();
+        assert_eq!(u_p.to_bits(), expected[i].to_bits(), "config {i}");
+    }
+
+    // A repeat of a config that has certainly been solved must be a cache
+    // hit, flagged in the response.
+    let (status, v) = http(addr, "POST", "/v1/solve", Some(&config_body(&configs[0])));
+    assert_eq!(status, 200);
+    assert_eq!(v.get("cached").and_then(|c| c.as_bool()), Some(true));
+
+    // The /metrics document: endpoint counters, cache hits, latency tails.
+    let (status, m) = http(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let solve_requests = m
+        .get("endpoints")
+        .and_then(|e| e.get("solve"))
+        .and_then(|s| s.get("requests"))
+        .and_then(|r| r.as_u64())
+        .unwrap();
+    assert_eq!(solve_requests, 65);
+    let hits = m
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|h| h.as_u64())
+        .unwrap();
+    assert!(hits >= 1, "expected cache hits, got {hits}");
+    for field in ["count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"] {
+        let x = m
+            .get("latency")
+            .and_then(|l| l.get(field))
+            .and_then(|x| x.as_f64());
+        assert!(x.is_some(), "latency.{field} missing");
+    }
+    assert!(
+        m.get("latency")
+            .and_then(|l| l.get("count"))
+            .and_then(|c| c.as_u64())
+            .unwrap()
+            >= 65
+    );
+
+    let summary = handle.shutdown();
+    assert!(summary.contains("hits="), "{summary}");
+}
+
+#[test]
+fn sweep_preserves_order_and_mixes_cached_results() {
+    let handle = start(4);
+    let addr = handle.addr();
+
+    // Distinct thread counts => strictly increasing utilization, so order
+    // preservation is observable in the response.
+    let configs: Vec<SystemConfig> = [1, 2, 4, 8, 12, 16]
+        .iter()
+        .map(|&n| SystemConfig::paper_default().with_n_threads(n))
+        .collect();
+    let expected: Vec<f64> = configs.iter().map(|c| solve(c).unwrap().u_p).collect();
+    let body = format!(
+        "{{\"configs\":[{}]}}",
+        configs
+            .iter()
+            .map(|c| wire::config_to_json(c).encode())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (status, v) = http(addr, "POST", "/v1/sweep", Some(&body));
+    assert_eq!(status, 200, "{}", v.encode());
+    assert_eq!(v.get("count").and_then(|c| c.as_u64()), Some(6));
+    let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+    for (i, item) in results.iter().enumerate() {
+        assert_eq!(item.get("ok").and_then(|o| o.as_bool()), Some(true));
+        let u_p = item
+            .get("report")
+            .and_then(|r| r.get("u_p"))
+            .and_then(|x| x.as_f64())
+            .unwrap();
+        assert_eq!(
+            u_p.to_bits(),
+            expected[i].to_bits(),
+            "result {i} out of order"
+        );
+    }
+
+    // A second identical sweep is served from cache, still in order.
+    let (status, v) = http(addr, "POST", "/v1/sweep", Some(&body));
+    assert_eq!(status, 200);
+    let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+    for (i, item) in results.iter().enumerate() {
+        assert_eq!(
+            item.get("cached").and_then(|c| c.as_bool()),
+            Some(true),
+            "sweep item {i} should be cached on repeat"
+        );
+        let u_p = item
+            .get("report")
+            .and_then(|r| r.get("u_p"))
+            .and_then(|x| x.as_f64())
+            .unwrap();
+        assert_eq!(u_p.to_bits(), expected[i].to_bits());
+    }
+
+    // A parameter grid expands row-major.
+    let grid_body = format!(
+        "{{\"base\":{},\"grid\":[{{\"param\":\"workload.n_threads\",\"values\":[2,8]}}]}}",
+        wire::config_to_json(&SystemConfig::paper_default()).encode()
+    );
+    let (status, v) = http(addr, "POST", "/v1/sweep", Some(&grid_body));
+    assert_eq!(status, 200);
+    assert_eq!(v.get("count").and_then(|c| c.as_u64()), Some(2));
+
+    handle.shutdown();
+}
+
+#[test]
+fn tolerance_endpoint_matches_library() {
+    let handle = start(2);
+    let addr = handle.addr();
+    let cfg = SystemConfig::paper_default();
+    let want = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).unwrap();
+    let (status, v) = http(addr, "POST", "/v1/tolerance", Some(&config_body(&cfg)));
+    assert_eq!(status, 200, "{}", v.encode());
+    let tol = v.get("tolerance").expect("tolerance object");
+    assert_eq!(
+        tol.get("index").and_then(|x| x.as_f64()).unwrap().to_bits(),
+        want.index.to_bits()
+    );
+    assert_eq!(tol.get("spec").and_then(|s| s.as_str()), Some("network"));
+    assert_eq!(
+        tol.get("zone").and_then(|z| z.as_str()),
+        Some(want.zone.label())
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn error_paths_are_structured() {
+    let handle = start(2);
+    let addr = handle.addr();
+
+    // Malformed JSON → 400 bad_request.
+    let (status, v) = http(addr, "POST", "/v1/solve", Some("{not json"));
+    assert_eq!(status, 400);
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("bad_request")
+    );
+
+    // Invalid config field → 400 invalid_field naming the field.
+    let bad_cfg = r#"{"config":{"workload":{"n_threads":8,"runlength":1,"p_remote":1.5,
+        "pattern":{"kind":"geometric","p_sw":0.5}},
+        "arch":{"topology":{"kind":"torus","k":4},"memory_latency":1,"switch_delay":1}}}"#;
+    let (status, v) = http(addr, "POST", "/v1/solve", Some(bad_cfg));
+    assert_eq!(status, 400);
+    let err = v.get("error").unwrap();
+    assert_eq!(
+        err.get("kind").and_then(|k| k.as_str()),
+        Some("invalid_field")
+    );
+    assert!(
+        err.get("message")
+            .and_then(|m| m.as_str())
+            .unwrap()
+            .contains("p_remote"),
+        "{}",
+        v.encode()
+    );
+
+    // Unknown endpoint → 404.
+    let (status, v) = http(addr, "GET", "/v1/nope", None);
+    assert_eq!(status, 404);
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|k| k.as_str()),
+        Some("not_found")
+    );
+
+    // A near-saturated machine with an already-expired deadline: a
+    // structured 504, not a hang. (timeout_ms=0 pins the deadline to
+    // "now", so the result is deterministic even on a fast machine.)
+    let heavy = SystemConfig::paper_default()
+        .with_topology(Topology::torus(10))
+        .with_n_threads(64)
+        .with_p_remote(0.9);
+    let body = format!(
+        "{{\"config\":{},\"timeout_ms\":0}}",
+        wire::config_to_json(&heavy).encode()
+    );
+    let (status, v) = http(addr, "POST", "/v1/solve", Some(&body));
+    assert_eq!(status, 504, "{}", v.encode());
+    let err = v.get("error").unwrap();
+    assert_eq!(err.get("kind").and_then(|k| k.as_str()), Some("timeout"));
+
+    // Sweeps time out the same way.
+    let body = format!(
+        "{{\"configs\":[{}],\"timeout_ms\":0}}",
+        wire::config_to_json(&heavy).encode()
+    );
+    let (status, v) = http(addr, "POST", "/v1/sweep", Some(&body));
+    assert_eq!(status, 504, "{}", v.encode());
+
+    // The error kinds showed up in /metrics.
+    let (_, m) = http(addr, "GET", "/metrics", None);
+    let kinds = m.get("errors_by_kind").unwrap();
+    assert!(kinds.get("bad_request").and_then(|x| x.as_u64()).unwrap() >= 1);
+    assert!(kinds.get("invalid_field").and_then(|x| x.as_u64()).unwrap() >= 1);
+    assert!(kinds.get("timeout").and_then(|x| x.as_u64()).unwrap() >= 2);
+    assert!(kinds.get("not_found").and_then(|x| x.as_u64()).unwrap() >= 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let handle = start(2);
+    let addr = handle.addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = config_body(&SystemConfig::paper_default());
+    for round in 0..3 {
+        write!(
+            stream,
+            "POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, v) = read_response(&mut reader);
+        assert_eq!(status, 200, "round {round}");
+        if round > 0 {
+            assert_eq!(
+                v.get("cached").and_then(|c| c.as_bool()),
+                Some(true),
+                "round {round} should hit the cache"
+            );
+        }
+    }
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_ok() {
+    let handle = start(1);
+    let (status, v) = http(handle.addr(), "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    assert_eq!(v.get("workers").and_then(|w| w.as_u64()), Some(1));
+    handle.shutdown();
+}

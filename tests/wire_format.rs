@@ -1,0 +1,156 @@
+//! Golden tests pinning the JSON wire format.
+//!
+//! These byte-for-byte snapshots are the contract `latencyd` clients
+//! depend on. If one fails because the schema changed on purpose, update
+//! the golden string *and* treat it as a wire-format break (note it in
+//! CHANGES.md); if it fails otherwise, the encoder regressed.
+
+use std::time::Duration;
+
+use lt_core::json;
+use lt_core::metrics::{PerformanceReport, SubsystemUtilization};
+use lt_core::mva::SolverDiagnostics;
+use lt_core::prelude::*;
+use lt_core::wire;
+
+#[test]
+fn golden_config_bytes() {
+    let cfg = SystemConfig::paper_default();
+    let encoded = wire::config_to_json(&cfg).encode();
+    assert_eq!(
+        encoded,
+        r#"{"workload":{"n_threads":8,"runlength":1,"context_switch":0,"p_remote":0.2,"pattern":{"kind":"geometric","p_sw":0.5,"per_module":false}},"arch":{"topology":{"kind":"torus","kx":4,"ky":4},"memory_latency":1,"switch_delay":1,"memory_ports":1}}"#
+    );
+    // And the bytes decode to an identical config.
+    let back = wire::config_from_json(&json::parse(&encoded).unwrap()).unwrap();
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn golden_config_key() {
+    // The cache key format is part of the service contract: a change here
+    // silently invalidates every deployed cache.
+    let key = wire::canonical_solve_key(&SystemConfig::paper_default(), SolverChoice::Auto);
+    assert_eq!(
+        key,
+        "v1;topo=t4x4;nt=8;r=3ff0000000000000;c=0000000000000000;\
+         pr=3fc999999999999a;pat=g:3fe0000000000000:0;L=3ff0000000000000;\
+         S=3ff0000000000000;mp=1;solver=auto"
+    );
+}
+
+/// A synthetic report with hand-picked values — independent of solver
+/// numerics, so the golden bytes never drift with solver tuning.
+fn sample_report() -> PerformanceReport {
+    PerformanceReport {
+        u_p: 0.84375,
+        lambda_proc: 0.0703125,
+        lambda_net: 0.028125,
+        s_obs: 21.5,
+        l_obs: 13.25,
+        l_obs_local: 11.0,
+        l_obs_remote: 34.5,
+        network_time_per_cycle: 0.6,
+        d_avg: 2.5,
+        system_throughput: 1.125,
+        utilization: SubsystemUtilization {
+            processor: 0.928125,
+            memory: 0.7031,
+            in_switch: 0.140625,
+            out_switch: 0.28125,
+        },
+        u_p_per_class: vec![0.84375, 0.84375],
+        iterations: 17,
+        diagnostics: SolverDiagnostics {
+            solver: "linearizer",
+            iterations: 17,
+            converged: true,
+            final_residual: 3.5e-10,
+            residual_trace: vec![0.125, 0.015625, 3.5e-10],
+            damping_trace: vec![1.0, 1.0, 0.5],
+            max_residual_index: Some(3),
+            extrapolations: 1,
+            wall_time: Duration::from_micros(420),
+        },
+    }
+}
+
+#[test]
+fn golden_report_bytes_and_round_trip() {
+    let rep = sample_report();
+    let encoded = wire::report_to_json(&rep).encode();
+    assert_eq!(
+        encoded,
+        r#"{"u_p":0.84375,"lambda_proc":0.0703125,"lambda_net":0.028125,"s_obs":21.5,"l_obs":13.25,"l_obs_local":11,"l_obs_remote":34.5,"network_time_per_cycle":0.6,"d_avg":2.5,"system_throughput":1.125,"utilization":{"processor":0.928125,"memory":0.7031,"in_switch":0.140625,"out_switch":0.28125},"u_p_per_class":[0.84375,0.84375],"iterations":17,"diagnostics":{"solver":"linearizer","iterations":17,"converged":true,"final_residual":0.00000000035,"residual_trace":[0.125,0.015625,0.00000000035],"damping_trace":[1,1,0.5],"max_residual_index":3,"extrapolations":1,"wall_time_us":420}}"#
+    );
+    let back = wire::report_from_json(&json::parse(&encoded).unwrap()).unwrap();
+    // f64 fields round-trip to identical bits (shortest-round-trip
+    // encoding), and the diagnostics survive intact.
+    assert_eq!(back.u_p.to_bits(), rep.u_p.to_bits());
+    assert_eq!(back.l_obs_remote.to_bits(), rep.l_obs_remote.to_bits());
+    assert_eq!(back.utilization, rep.utilization);
+    assert_eq!(back.u_p_per_class, rep.u_p_per_class);
+    assert_eq!(back.iterations, rep.iterations);
+    assert_eq!(back.diagnostics.solver, "linearizer");
+    assert_eq!(back.diagnostics.converged, rep.diagnostics.converged);
+    assert_eq!(
+        back.diagnostics.final_residual.to_bits(),
+        rep.diagnostics.final_residual.to_bits()
+    );
+    assert_eq!(
+        back.diagnostics.residual_trace,
+        rep.diagnostics.residual_trace
+    );
+    assert_eq!(
+        back.diagnostics.damping_trace,
+        rep.diagnostics.damping_trace
+    );
+    assert_eq!(back.diagnostics.max_residual_index, Some(3));
+    assert_eq!(back.diagnostics.wall_time, Duration::from_micros(420));
+}
+
+#[test]
+fn solved_report_round_trips_bit_exactly() {
+    // The real thing, end to end: solve, encode, decode, compare bits.
+    let rep = solve(&SystemConfig::paper_default()).unwrap();
+    let back = wire::report_from_json(&json::parse(&wire::report_to_json(&rep).encode()).unwrap())
+        .unwrap();
+    for (a, b) in [
+        (rep.u_p, back.u_p),
+        (rep.lambda_proc, back.lambda_proc),
+        (rep.lambda_net, back.lambda_net),
+        (rep.s_obs, back.s_obs),
+        (rep.l_obs, back.l_obs),
+        (rep.l_obs_local, back.l_obs_local),
+        (rep.l_obs_remote, back.l_obs_remote),
+        (rep.network_time_per_cycle, back.network_time_per_cycle),
+        (rep.d_avg, back.d_avg),
+        (rep.system_throughput, back.system_throughput),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(rep.diagnostics.solver, back.diagnostics.solver);
+    assert_eq!(
+        rep.diagnostics.residual_trace,
+        back.diagnostics.residual_trace
+    );
+}
+
+#[test]
+fn golden_tolerance_bytes() {
+    let tol = tolerance_index(
+        &SystemConfig::paper_default().with_n_threads(1),
+        IdealSpec::AllLocal,
+    )
+    .unwrap();
+    let v = wire::tolerance_to_json(&tol);
+    // Schema only (values depend on the solver): field names and order.
+    let keys: Vec<&str> = v
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(keys, ["index", "u_p", "u_p_ideal", "zone", "spec"]);
+    assert_eq!(v.get("spec").and_then(|s| s.as_str()), Some("all-local"));
+}
