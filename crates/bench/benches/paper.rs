@@ -16,7 +16,7 @@ fn bench_experiments(c: &mut Criterion) {
             .measurement_time(Duration::from_secs(2));
         group.bench_function("regenerate", |b| {
             b.iter(|| {
-                let report = (e.run)(&ctx);
+                let report = (e.run)(&ctx).expect("experiment regenerates");
                 assert!(!report.is_empty());
                 report.len()
             })

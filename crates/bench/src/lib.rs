@@ -9,6 +9,8 @@
 //! schedule — good enough for the relative comparisons these benches make,
 //! without Criterion's statistical machinery.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from discarding a benchmark's result.

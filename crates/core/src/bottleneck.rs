@@ -16,6 +16,7 @@
 //! the actual visit ratios (which agree with Equation 4 — see the tests).
 
 use crate::error::Result;
+use crate::num::exactly_zero;
 use crate::params::SystemConfig;
 use crate::qn::build::{build_network, StationKind};
 
@@ -74,11 +75,12 @@ pub fn lambda_net_saturation(d_avg: f64, switch_delay: f64) -> Option<f64> {
 pub fn critical_p_remote(runlength: f64, l: f64, s: f64, d_avg: f64) -> Option<f64> {
     let target = 1.0 / runlength;
     // Response rates of the two paths; zero delay means infinite rate.
+    // lt-lint: allow(LT04, zero-delay path responds infinitely fast; both infinities are guarded right below)
     let a = if l > 0.0 { 1.0 / l } else { f64::INFINITY };
     let b = if s > 0.0 {
         1.0 / (2.0 * (d_avg + 1.0) * s)
     } else {
-        f64::INFINITY
+        f64::INFINITY // lt-lint: allow(LT04, zero-delay path responds infinitely fast; guarded right below)
     };
     if a.is_infinite() && b.is_infinite() {
         return None;
@@ -111,10 +113,11 @@ pub fn analyze(cfg: &SystemConfig) -> Result<BottleneckReport> {
     // λ_max per station: utilization per unit class rate is
     // Σ_i e[i][st] · s_st (all classes share the rate under the SPMD
     // assumption; on a mesh this is the balanced-rate approximation).
+    // lt-lint: allow(LT04, documented sentinel: a subsystem that is never visited never saturates)
     let mut worst = [f64::INFINITY; 4]; // proc, mem, in, out
     for st in 0..m {
         let s = mms.net.stations[st].service;
-        if s == 0.0 {
+        if exactly_zero(s) {
             continue;
         }
         let slot = match mms.idx.kind(st) {
@@ -134,7 +137,7 @@ pub fn analyze(cfg: &SystemConfig) -> Result<BottleneckReport> {
         u_p_bound: if lambda_max.is_finite() {
             lambda_max * r
         } else {
-            f64::INFINITY
+            f64::INFINITY // lt-lint: allow(LT04, documented sentinel: unbounded utilization bound)
         },
     };
     let limits = [
@@ -143,11 +146,13 @@ pub fn analyze(cfg: &SystemConfig) -> Result<BottleneckReport> {
         ("in-switch", limit(worst[2])),
         ("out-switch", limit(worst[3])),
     ];
-    let (binding, tightest) = limits
-        .iter()
-        .min_by(|a, b| a.1.u_p_bound.total_cmp(&b.1.u_p_bound))
-        .copied()
-        .expect("four subsystems");
+    let (mut binding, mut tightest) = limits[0];
+    for &(name, l) in &limits[1..] {
+        if l.u_p_bound.total_cmp(&tightest.u_p_bound).is_lt() {
+            binding = name;
+            tightest = l;
+        }
+    }
 
     let d_avg = mms.d_avg[0];
     Ok(BottleneckReport {

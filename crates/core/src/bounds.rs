@@ -20,6 +20,7 @@
 //! principle; the property tests probe it).
 
 use crate::error::{LtError, Result};
+use crate::num::exactly_zero;
 use crate::params::SystemConfig;
 use crate::qn::build::build_network;
 use crate::qn::Discipline;
@@ -73,17 +74,19 @@ pub fn asymptotic_bounds(demands: &[f64], think: f64, n: usize) -> Result<Throug
     }
     let (d, d_max, _) = demand_summary(demands)?;
     let nf = n as f64;
-    if d + think == 0.0 {
+    if exactly_zero(d + think) {
+        // lt-lint: allow(LT04, documented: zero total demand means unbounded throughput)
+        let unbounded = f64::INFINITY;
         return Ok(ThroughputBounds {
-            lower: f64::INFINITY,
-            upper: f64::INFINITY,
+            lower: unbounded,
+            upper: unbounded,
         });
     }
     let upper_opt = nf / (d + think);
     let upper_bottleneck = if d_max > 0.0 {
         1.0 / d_max
     } else {
-        f64::INFINITY
+        f64::INFINITY // lt-lint: allow(LT04, documented: no queueing demand leaves the ceiling unbounded)
     };
     Ok(ThroughputBounds {
         lower: nf / (nf * d + think),
@@ -98,10 +101,12 @@ pub fn balanced_bounds(demands: &[f64], n: usize) -> Result<ThroughputBounds> {
     }
     let (d, d_max, busy) = demand_summary(demands)?;
     let nf = n as f64;
-    if d == 0.0 {
+    if exactly_zero(d) {
+        // lt-lint: allow(LT04, documented: zero total demand means unbounded throughput)
+        let unbounded = f64::INFINITY;
         return Ok(ThroughputBounds {
-            lower: f64::INFINITY,
-            upper: f64::INFINITY,
+            lower: unbounded,
+            upper: unbounded,
         });
     }
     let d_avg = d / busy as f64;
@@ -127,7 +132,7 @@ pub fn mms_isolation_bounds(cfg: &SystemConfig) -> Result<ThroughputBounds> {
     let mut think = 0.0;
     for st in 0..mms.net.n_stations() {
         let d = mms.net.demand(0, st);
-        if d == 0.0 {
+        if exactly_zero(d) {
             continue;
         }
         match mms.net.stations[st].discipline {
@@ -138,7 +143,7 @@ pub fn mms_isolation_bounds(cfg: &SystemConfig) -> Result<ThroughputBounds> {
     let n = cfg.workload.n_threads;
     let aba = asymptotic_bounds(&demands, think, n)?;
     let r = cfg.workload.runlength;
-    let upper = if think == 0.0 {
+    let upper = if exactly_zero(think) {
         aba.upper.min(balanced_bounds(&demands, n)?.upper)
     } else {
         aba.upper
@@ -150,7 +155,7 @@ pub fn mms_isolation_bounds(cfg: &SystemConfig) -> Result<ThroughputBounds> {
     let lower = if d_total + think > 0.0 {
         n as f64 / (n_total * d_total + think)
     } else {
-        f64::INFINITY
+        f64::INFINITY // lt-lint: allow(LT04, documented: a demand-free cycle is unboundedly fast)
     };
     Ok(ThroughputBounds {
         lower: lower * r,

@@ -83,7 +83,9 @@ impl JsonValue {
     /// The value as a non-negative integer (rejects fractional numbers).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+            JsonValue::Number(x)
+                if *x >= 0.0 && crate::num::whole_number(*x) && *x <= 2f64.powi(53) =>
+            {
                 Some(*x as u64)
             }
             _ => None,
@@ -236,14 +238,14 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Parse a complete JSON document (trailing whitespace allowed, trailing
-/// garbage rejected).
 /// Serialize a value compactly — the free-function twin of
 /// [`JsonValue::encode`], for symmetry with [`parse`].
 pub fn encode(v: &JsonValue) -> String {
     v.encode()
 }
 
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -285,7 +287,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -356,7 +358,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
         let x: f64 = text
             .parse()
             .map_err(|_| self.err(format!("unparseable number '{text}'")))?;
@@ -367,7 +370,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
@@ -421,9 +424,14 @@ impl<'a> Parser<'a> {
                 }
                 0x00..=0x1f => return Err(self.err("unescaped control character in string")),
                 _ => {
-                    // Consume one UTF-8 scalar (input is &str, so it's valid).
-                    let s = std::str::from_utf8(&self.bytes[self.pos..]).expect("valid utf-8");
-                    let c = s.chars().next().expect("non-empty");
+                    // Consume one UTF-8 scalar (input is &str, so it's
+                    // valid; the error arms are unreachable but cheap).
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -443,7 +451,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -466,7 +474,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -477,7 +485,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.parse_string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.parse_value(depth + 1)?;
             pairs.push((key, value));

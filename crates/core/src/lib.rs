@@ -59,6 +59,9 @@
 //! assert!(tol.index > 0.8, "the default workload tolerates the network");
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod bottleneck;
 pub mod bounds;
@@ -66,6 +69,7 @@ pub mod error;
 pub mod json;
 pub mod metrics;
 pub mod mva;
+pub mod num;
 pub mod params;
 pub mod qn;
 pub mod sweep;

@@ -19,6 +19,7 @@
 use crate::error::{LtError, Result};
 use crate::mva::fixed_point::solve_fixed_point;
 use crate::mva::{initial_queue, MvaSolution, SolverOptions};
+use crate::num::exactly_zero;
 use crate::qn::{ClosedNetwork, Discipline};
 
 /// Solve with default options.
@@ -52,7 +53,7 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
             let mut cycle = 0.0;
             for st in 0..m {
                 let e = net.visits[i][st];
-                if e == 0.0 {
+                if exactly_zero(e) {
                     wait[i][st] = 0.0;
                     continue;
                 }
@@ -77,7 +78,11 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
             throughput[i] = lam;
             for st in 0..m {
                 let e = net.visits[i][st];
-                next[i * m + st] = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
+                next[i * m + st] = if exactly_zero(e) {
+                    0.0
+                } else {
+                    lam * e * wait[i][st]
+                };
             }
         }
         Ok(())

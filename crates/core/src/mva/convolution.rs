@@ -21,6 +21,7 @@
 //! crate meets in practice.
 
 use crate::error::{LtError, Result};
+use crate::num::exactly_zero;
 use crate::qn::{ClosedNetwork, Discipline};
 
 /// Exact single-class solution by convolution.
@@ -60,7 +61,7 @@ pub fn solve(net: &ClosedNetwork) -> Result<ConvolutionSolution> {
             Discipline::Delay => think += d,
         }
     }
-    if queueing.is_empty() && think == 0.0 {
+    if queueing.is_empty() && exactly_zero(think) {
         return Err(LtError::Unsupported(
             "network with zero total demand has unbounded throughput".into(),
         ));

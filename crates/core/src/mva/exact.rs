@@ -17,6 +17,7 @@
 
 use crate::error::{LtError, Result};
 use crate::mva::{MvaSolution, SolverDiagnostics};
+use crate::num::exactly_zero;
 use crate::qn::{ClosedNetwork, Discipline};
 
 /// Hard ceiling on `states × stations` table entries (~1.6 GiB of f64 at
@@ -88,7 +89,7 @@ pub fn solve_with_limit(net: &ClosedNetwork, entry_limit: u128) -> Result<MvaSol
             let mut cycle = 0.0;
             for st in 0..m {
                 let e = net.visits[i][st];
-                if e == 0.0 {
+                if exactly_zero(e) {
                     wait_scratch[st] = 0.0;
                     continue;
                 }
@@ -127,7 +128,7 @@ pub fn solve_with_limit(net: &ClosedNetwork, entry_limit: u128) -> Result<MvaSol
         let prev_base = (full - strides[i]) * m;
         for st in 0..m {
             let e = net.visits[i][st];
-            if e == 0.0 {
+            if exactly_zero(e) {
                 continue;
             }
             let s = net.stations[st].service;

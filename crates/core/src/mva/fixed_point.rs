@@ -132,11 +132,13 @@ where
     let mut alpha = opts
         .damping_initial
         .clamp(opts.damping_min.max(f64::MIN_POSITIVE), 1.0);
+    // lt-lint: allow(LT04, seed: any finite first residual must compare as an improvement)
     let mut prev_residual = f64::INFINITY;
     let mut improve_streak = 0usize;
     let mut residual_trace = Vec::new();
     let mut damping_trace = Vec::new();
     let mut extrapolations = 0usize;
+    // lt-lint: allow(LT04, sentinel meaning "no iteration ran yet"; overwritten or reported in NoConvergence)
     let mut residual = f64::INFINITY;
     let mut max_index = None;
 
@@ -153,6 +155,7 @@ where
             // NaN fails every comparison, so it must be caught explicitly
             // or the max-norm would silently skip it.
             if !d.is_finite() {
+                // lt-lint: allow(LT04, deliberate poison marker: caught below and turned into a structured error)
                 residual = f64::NAN;
                 max_index = Some(i);
                 break;

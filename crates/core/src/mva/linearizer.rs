@@ -17,6 +17,7 @@
 use crate::error::{LtError, Result};
 use crate::mva::fixed_point::solve_fixed_point;
 use crate::mva::{MvaSolution, SolverOptions};
+use crate::num::exactly_zero;
 use crate::qn::{ClosedNetwork, Discipline};
 
 /// Number of outer refinement sweeps (the literature standard is 2–3).
@@ -177,7 +178,7 @@ fn core(
     for i in 0..c {
         for j in 0..c {
             let nj = pop[j] as f64;
-            if nj == 0.0 {
+            if exactly_zero(nj) {
                 continue;
             }
             let f = &fractions[(i * c + j) * m..(i * c + j + 1) * m];
@@ -222,7 +223,7 @@ fn core(
             let wait_i = &mut wait[i];
             for st in 0..m {
                 let e = visits_i[st];
-                if e == 0.0 {
+                if exactly_zero(e) {
                     wait_i[st] = 0.0;
                     continue;
                 }
@@ -246,7 +247,11 @@ fn core(
             throughput[i] = lam;
             for st in 0..m {
                 let e = visits_i[st];
-                next[i * m + st] = if e == 0.0 { 0.0 } else { lam * e * wait_i[st] };
+                next[i * m + st] = if exactly_zero(e) {
+                    0.0
+                } else {
+                    lam * e * wait_i[st]
+                };
             }
         }
         Ok(())

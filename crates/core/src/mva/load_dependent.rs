@@ -20,6 +20,7 @@
 
 use crate::error::{LtError, Result};
 use crate::mva::{MvaSolution, SolverDiagnostics};
+use crate::num::exactly_zero;
 use crate::qn::{ClosedNetwork, Discipline};
 
 /// Per-station service-rate function: completions per time unit with `j`
@@ -87,14 +88,14 @@ pub fn solve(net: &ClosedNetwork, rates: &[RateFn]) -> Result<MvaSolution> {
         let mut cycle = 0.0;
         for st in 0..m {
             let e = net.visits[0][st];
-            if e == 0.0 {
+            if exactly_zero(e) {
                 wait[st] = 0.0;
                 continue;
             }
             let s = net.stations[st].service;
             wait[st] = match net.stations[st].discipline {
                 Discipline::Delay => s,
-                Discipline::Queueing if s == 0.0 => 0.0,
+                Discipline::Queueing if exactly_zero(s) => 0.0,
                 Discipline::Queueing => {
                     if ld[st] {
                         // Σ_j (j / rate(j)) p(j-1 | pop-1)
@@ -121,7 +122,7 @@ pub fn solve(net: &ClosedNetwork, rates: &[RateFn]) -> Result<MvaSolution> {
         // Update marginals / means at population `pop`.
         for st in 0..m {
             let e = net.visits[0][st];
-            if e == 0.0 {
+            if exactly_zero(e) {
                 continue;
             }
             if ld[st] {

@@ -24,6 +24,7 @@
 use crate::error::{LtError, Result};
 use crate::mva::fixed_point::solve_fixed_point;
 use crate::mva::{initial_queue, MvaSolution, SolverOptions};
+use crate::num::exactly_zero;
 use crate::qn::build::{MmsNetwork, StationKind};
 use crate::qn::Discipline;
 
@@ -126,7 +127,7 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
             let mut cycle = 0.0;
             for st in 0..m {
                 let e = net.visits[i][st];
-                if e == 0.0 {
+                if exactly_zero(e) {
                     wait[i][st] = 0.0;
                     continue;
                 }
@@ -175,7 +176,11 @@ pub fn solve_with(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> 
             throughput[i] = lam;
             for st in 0..m {
                 let e = net.visits[i][st];
-                next[i * m + st] = if e == 0.0 { 0.0 } else { lam * e * wait[i][st] };
+                next[i * m + st] = if exactly_zero(e) {
+                    0.0
+                } else {
+                    lam * e * wait[i][st]
+                };
             }
         }
         Ok(())

@@ -1,0 +1,72 @@
+//! Bit-pattern float comparisons.
+//!
+//! The analytical core needs a handful of *exact* float comparisons: visit
+//! ratios that are exactly zero select a different recursion branch, and
+//! the wire format normalizes `-0.0` before hashing. Writing those as bare
+//! `== 0.0` makes them indistinguishable from the accidental float
+//! equality the LT03 lint forbids, so the intentional cases go through
+//! these helpers, which compare IEEE-754 bit patterns — the same
+//! convention [`crate::wire::canonical_solve_key`] uses.
+
+/// True iff `x` is exactly `+0.0` or `-0.0` (never true for NaN).
+///
+/// Shifting out the sign bit maps both zeros to the all-zero pattern and
+/// nothing else, so this is precisely the set where `x == 0.0` holds —
+/// without a float compare the linter would have to guess about.
+#[inline]
+pub fn exactly_zero(x: f64) -> bool {
+    x.to_bits() << 1 == 0
+}
+
+/// True iff `a` and `b` have identical IEEE-754 bit patterns.
+///
+/// Stricter than `==`: distinguishes `+0.0` from `-0.0` and treats a NaN
+/// as equal to an identically-encoded NaN. Use when "the same number the
+/// caller passed" is meant, e.g. comparing against a remembered iterate.
+#[inline]
+pub fn exactly_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// True iff `x` is a whole number (`x.fract()` is exactly zero).
+///
+/// The wire layer uses this to accept JSON numbers as integer fields.
+/// NaN and infinities are not whole numbers.
+#[inline]
+pub fn whole_number(x: f64) -> bool {
+    x.is_finite() && exactly_zero(x.fract())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_zero_matches_ieee_equality_with_zero() {
+        assert!(exactly_zero(0.0));
+        assert!(exactly_zero(-0.0));
+        assert!(!exactly_zero(f64::MIN_POSITIVE));
+        assert!(!exactly_zero(-f64::MIN_POSITIVE));
+        assert!(!exactly_zero(f64::NAN));
+        assert!(!exactly_zero(f64::INFINITY));
+        assert!(!exactly_zero(5e-324), "subnormals are not zero");
+    }
+
+    #[test]
+    fn exactly_eq_is_bitwise() {
+        assert!(exactly_eq(1.5, 1.5));
+        assert!(!exactly_eq(0.0, -0.0));
+        assert!(exactly_eq(f64::NAN, f64::NAN), "same NaN encoding");
+        assert!(!exactly_eq(1.0, 1.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn whole_number_accepts_integers_only() {
+        assert!(whole_number(0.0));
+        assert!(whole_number(-3.0));
+        assert!(whole_number(2f64.powi(53)));
+        assert!(!whole_number(0.5));
+        assert!(!whole_number(f64::NAN));
+        assert!(!whole_number(f64::INFINITY));
+    }
+}

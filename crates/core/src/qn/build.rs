@@ -32,6 +32,7 @@
 //!   term of the paper's Equation 5.
 
 use crate::error::Result;
+use crate::num::exactly_zero;
 use crate::params::SystemConfig;
 use crate::qn::{ClosedNetwork, Station};
 use crate::topology::NodeId;
@@ -105,12 +106,14 @@ impl StationIndex {
             2 => StationKind::InSwitch(node),
             3 => StationKind::OutSwitch(node),
             4 if self.has_memory_delay => StationKind::MemoryDelay(node),
+            // lt-lint: allow(LT01, documented programmer-error panic: layout mix-up, split from out-of-range in PR 1)
             4 => panic!(
                 "station index {station} addresses the mem-delay block, but this \
                  layout has no memory-delay stations (memory_ports <= 1); \
                  valid indices are 0..{}",
                 self.count()
             ),
+            // lt-lint: allow(LT01, documented programmer-error panic: station index out of range)
             _ => panic!(
                 "station index {station} out of range for {} stations \
                  (p = {}, has_memory_delay = {})",
@@ -206,7 +209,7 @@ pub fn build_network(cfg: &SystemConfig) -> Result<MmsNetwork> {
             let q = cfg.workload.pattern.remote_probs(&topo, i);
             eo[i][i] = p_remote;
             for j in 0..p {
-                if j == i || q[j] == 0.0 {
+                if j == i || exactly_zero(q[j]) {
                     continue;
                 }
                 let weight = p_remote * q[j];

@@ -9,6 +9,7 @@
 pub mod build;
 
 use crate::error::{LtError, Result};
+use crate::num::exactly_zero;
 
 /// Queueing discipline of a station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,7 +114,7 @@ impl ClosedNetwork {
                     "visits row {i} contains negative or non-finite entries"
                 )));
             }
-            if row.iter().all(|v| *v == 0.0) {
+            if row.iter().all(|v| exactly_zero(*v)) {
                 return Err(LtError::InvalidConfig(format!(
                     "class {i} visits no station"
                 )));

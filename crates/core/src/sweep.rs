@@ -74,6 +74,7 @@ where
                 }
             });
             out.into_iter()
+                // lt-lint: allow(LT01, invariant: the chunk zip above writes every slot exactly once)
                 .map(|v| v.expect("all chunks filled"))
                 .collect()
         }
@@ -104,6 +105,7 @@ where
                     .collect();
                 handles
                     .into_iter()
+                    // lt-lint: allow(LT01, join() only fails if a worker panicked; re-raising that panic is the contract)
                     .map(|h| h.join().expect("sweep worker panicked"))
                     .collect()
             });
@@ -111,6 +113,7 @@ where
                 out[i] = Some(v);
             }
             out.into_iter()
+                // lt-lint: allow(LT01, invariant: the atomic counter hands every index to exactly one worker)
                 .map(|v| v.expect("all items claimed"))
                 .collect()
         }

@@ -16,6 +16,7 @@ use crate::error::{LtError, Result};
 use crate::json::JsonValue;
 use crate::metrics::{PerformanceReport, SubsystemUtilization};
 use crate::mva::SolverDiagnostics;
+use crate::num::exactly_zero;
 use crate::params::{ArchParams, SystemConfig, WorkloadParams};
 use crate::tolerance::{IdealSpec, ToleranceReport};
 use crate::topology::{GridKind, Topology};
@@ -439,7 +440,7 @@ pub fn tolerance_to_json(t: &ToleranceReport) -> JsonValue {
 
 /// Hex bit pattern of a float, with `-0.0` normalized to `0.0`.
 fn bits(x: f64) -> String {
-    let x = if x == 0.0 { 0.0 } else { x };
+    let x = if exactly_zero(x) { 0.0 } else { x };
     format!("{:016x}", x.to_bits())
 }
 

@@ -17,6 +17,8 @@
 //!   tails without storing samples.
 //! * [`warmup`] — MSER-5 initial-transient detection.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod quantile;
 pub mod rng;

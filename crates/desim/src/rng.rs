@@ -84,7 +84,7 @@ impl ServiceDist {
             ServiceDist::Deterministic { .. } => 0.0,
             ServiceDist::Uniform { lo, hi } => {
                 let m = 0.5 * (lo + hi);
-                if m == 0.0 {
+                if exactly_zero(m) {
                     0.0
                 } else {
                     (hi - lo).powi(2) / 12.0 / (m * m)
@@ -93,6 +93,12 @@ impl ServiceDist {
             ServiceDist::Erlang { k, .. } => 1.0 / k as f64,
         }
     }
+}
+
+/// True exactly for ±0.0 (bit-pattern check; never true for NaN).
+#[inline]
+fn exactly_zero(x: f64) -> bool {
+    x.to_bits() << 1 == 0
 }
 
 /// SplitMix64 step: mixes a 64-bit state into a well-distributed output.
@@ -159,7 +165,7 @@ impl SimRng {
     /// `ln(0)` corner).
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean >= 0.0);
-        if mean == 0.0 {
+        if exactly_zero(mean) {
             return 0.0;
         }
         let u = 1.0 - self.uniform01(); // in (0, 1]
@@ -200,6 +206,7 @@ impl SimRng {
         weights
             .iter()
             .rposition(|&w| w > 0.0)
+            // lt-lint: allow(LT01, invariant: the assert above guarantees a positive total, hence a positive weight)
             .expect("positive total implies a positive weight")
     }
 }

@@ -36,7 +36,7 @@ pub fn mser(batch_means: &[f64]) -> Option<WarmupEstimate> {
     let cap = n / 2;
     let mut best = WarmupEstimate {
         truncate_batches: 0,
-        statistic: f64::INFINITY,
+        statistic: f64::INFINITY, // lt-lint: allow(LT04, min-fold seed; every candidate scan below replaces it)
         truncation_capped: false,
     };
     // Suffix sums allow O(1) variance per candidate.

@@ -6,6 +6,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_core::topology::Topology;
@@ -21,28 +22,30 @@ pub struct DistPoint {
 }
 
 /// Compare the variants across machine sizes.
-pub fn sweep(ctx: &Ctx) -> Vec<DistPoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<DistPoint>> {
     let ks: Vec<usize> = ctx.pick(vec![2, 4, 6, 8, 10], vec![2, 4, 6]);
     parallel_map(&ks, |&k| {
-        let eval = |pattern: AccessPattern| {
+        let eval = |pattern: AccessPattern| -> Result<(f64, f64, f64)> {
             let cfg = SystemConfig::paper_default()
                 .with_topology(Topology::torus(k))
                 .with_pattern(pattern);
-            let rep = solve(&cfg).expect("solvable");
-            let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
-            (rep.d_avg, rep.u_p, tol.index)
+            let rep = solve(&cfg)?;
+            let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)?;
+            Ok((rep.d_avg, rep.u_p, tol.index))
         };
-        DistPoint {
+        Ok(DistPoint {
             k,
-            per_class: eval(AccessPattern::geometric(0.5)),
-            per_module: eval(AccessPattern::geometric_per_module(0.5)),
-        }
+            per_class: eval(AccessPattern::geometric(0.5))?,
+            per_module: eval(AccessPattern::geometric_per_module(0.5))?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut t = Table::new(vec![
         "k",
         "d_avg class",
@@ -64,11 +67,11 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ablation_dist", &t);
-    format!(
+    Ok(format!(
         "Geometric-distribution variants, p_sw = 0.5 (per-distance-class = \
          the paper's definition, recovering d_avg = 1.733 at k = 4).\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -78,7 +81,7 @@ mod tests {
     #[test]
     fn per_class_recovers_paper_d_avg_at_k4() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let k4 = pts.iter().find(|p| p.k == 4).unwrap();
         assert!((k4.per_class.0 - 1.7333).abs() < 1e-3);
         assert!((k4.per_module.0 - 1.7333).abs() > 1e-2, "variants differ");
@@ -89,7 +92,7 @@ mod tests {
         // On a 2x2 torus the distance classes have sizes {2, 1}; both
         // variants still differ slightly, but d_avg stays within ~0.2.
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let k2 = pts.iter().find(|p| p.k == 2).unwrap();
         assert!((k2.per_class.0 - k2.per_module.0).abs() < 0.25);
     }
@@ -99,7 +102,7 @@ mod tests {
         // Both variants must agree the network is tolerated at the default
         // workload — the metric's conclusion is variant-robust.
         let ctx = Ctx::quick_temp();
-        for p in sweep(&ctx) {
+        for p in sweep(&ctx).unwrap() {
             assert!(p.per_class.2 > 0.8, "k={}: {}", p.k, p.per_class.2);
             assert!(p.per_module.2 > 0.8, "k={}: {}", p.k, p.per_module.2);
         }
@@ -108,6 +111,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("1.733"));
+        assert!(run(&ctx).unwrap().contains("1.733"));
     }
 }

@@ -4,6 +4,7 @@
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
 use lt_core::analysis::{solve_with, SolverChoice};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_core::topology::Topology;
@@ -24,7 +25,7 @@ pub struct SolverPoint {
 }
 
 /// Run the comparison on a 2×2 torus.
-pub fn sweep(ctx: &Ctx) -> Vec<SolverPoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<SolverPoint>> {
     let n_ts: Vec<usize> = ctx.pick(vec![1, 2, 3, 4, 6], vec![2, 4]);
     let ps: Vec<f64> = ctx.pick(vec![0.2, 0.5, 0.8], vec![0.5]);
     let cells = lt_core::sweep::grid(&n_ts, &ps);
@@ -33,27 +34,29 @@ pub fn sweep(ctx: &Ctx) -> Vec<SolverPoint> {
             .with_topology(Topology::torus(2))
             .with_n_threads(n_t)
             .with_p_remote(p_remote);
-        let timed = |choice: SolverChoice| {
+        let timed = |choice: SolverChoice| -> Result<(f64, f64)> {
             let start = Instant::now();
-            let u = solve_with(&cfg, choice).expect("solvable").u_p;
-            (u, start.elapsed().as_secs_f64() * 1e6)
+            let u = solve_with(&cfg, choice)?.u_p;
+            Ok((u, start.elapsed().as_secs_f64() * 1e6))
         };
-        let (exact, _) = timed(SolverChoice::Exact);
-        let (amva_u, amva_t) = timed(SolverChoice::Amva);
-        let (lin_u, lin_t) = timed(SolverChoice::Linearizer);
-        SolverPoint {
+        let (exact, _) = timed(SolverChoice::Exact)?;
+        let (amva_u, amva_t) = timed(SolverChoice::Amva)?;
+        let (lin_u, lin_t) = timed(SolverChoice::Linearizer)?;
+        Ok(SolverPoint {
             n_t,
             p_remote,
             exact,
             amva: ((amva_u - exact).abs() / exact, amva_t),
             linearizer: ((lin_u - exact).abs() / exact, lin_t),
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut t = Table::new(vec![
         "n_t",
         "p_remote",
@@ -77,7 +80,7 @@ pub fn run(ctx: &Ctx) -> String {
     let csv_note = ctx.save_csv("ablation_solver", &t);
     let worst_amva = pts.iter().map(|p| p.amva.0).fold(0.0, f64::max);
     let worst_lin = pts.iter().map(|p| p.linearizer.0).fold(0.0, f64::max);
-    format!(
+    Ok(format!(
         "Solver ablation on a 2x2 torus (exact MVA affordable).\n\n{}\n\
          Worst-case error vs exact: Bard-Schweitzer {}%, Linearizer {}%.\n\
          The paper's solver choice (Fig. 3 = Bard-Schweitzer) is accurate \
@@ -85,7 +88,7 @@ pub fn run(ctx: &Ctx) -> String {
         t.render(),
         fnum(worst_amva * 100.0, 2),
         fnum(worst_lin * 100.0, 2)
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -95,7 +98,7 @@ mod tests {
     #[test]
     fn approximations_stay_within_a_few_percent() {
         let ctx = Ctx::quick_temp();
-        for p in sweep(&ctx) {
+        for p in sweep(&ctx).unwrap() {
             assert!(p.amva.0 < 0.06, "amva err {}", p.amva.0);
             assert!(p.linearizer.0 < 0.03, "linearizer err {}", p.linearizer.0);
         }
@@ -104,7 +107,7 @@ mod tests {
     #[test]
     fn linearizer_no_worse_than_amva_overall() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let sum_amva: f64 = pts.iter().map(|p| p.amva.0).sum();
         let sum_lin: f64 = pts.iter().map(|p| p.linearizer.0).sum();
         assert!(sum_lin <= sum_amva + 1e-9);
@@ -113,6 +116,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("Bard-Schweitzer"));
+        assert!(run(&ctx).unwrap().contains("Bard-Schweitzer"));
     }
 }

@@ -5,6 +5,7 @@
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
 use lt_core::analysis::{solve_network, SolverChoice};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::qn::build::build_network;
 use lt_core::topology::Topology;
@@ -23,20 +24,20 @@ pub struct SymmetryPoint {
 }
 
 /// Compare across machine sizes.
-pub fn sweep(ctx: &Ctx) -> Vec<SymmetryPoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<SymmetryPoint>> {
     let ks: Vec<usize> = ctx.pick(vec![2, 4, 6, 8, 10], vec![2, 4]);
     ks.iter()
         .map(|&k| {
             let cfg = SystemConfig::paper_default().with_topology(Topology::torus(k));
-            let mms = build_network(&cfg).expect("buildable");
+            let mms = build_network(&cfg)?;
             let r = cfg.workload.runlength;
 
             let start = Instant::now();
-            let general = solve_network(&mms, SolverChoice::Amva).expect("solvable");
+            let general = solve_network(&mms, SolverChoice::Amva)?;
             let general_us = start.elapsed().as_secs_f64() * 1e6;
 
             let start = Instant::now();
-            let symmetric = solve_network(&mms, SolverChoice::SymmetricAmva).expect("solvable");
+            let symmetric = solve_network(&mms, SolverChoice::SymmetricAmva)?;
             let symmetric_us = start.elapsed().as_secs_f64() * 1e6;
 
             let delta = general
@@ -45,19 +46,19 @@ pub fn sweep(ctx: &Ctx) -> Vec<SymmetryPoint> {
                 .zip(&symmetric.throughput)
                 .map(|(a, b)| (a - b).abs() * r)
                 .fold(0.0, f64::max);
-            SymmetryPoint {
+            Ok(SymmetryPoint {
                 k,
                 u_p_delta: delta,
                 general_us,
                 symmetric_us,
-            }
+            })
         })
         .collect()
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut t = Table::new(vec![
         "k",
         "P",
@@ -77,10 +78,10 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ablation_symmetry", &t);
-    format!(
+    Ok(format!(
         "Symmetric AMVA fast path vs general multi-class AMVA.\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -90,7 +91,7 @@ mod tests {
     #[test]
     fn solvers_agree_to_tolerance() {
         let ctx = Ctx::quick_temp();
-        for p in sweep(&ctx) {
+        for p in sweep(&ctx).unwrap() {
             assert!(p.u_p_delta < 1e-6, "k={}: delta {}", p.k, p.u_p_delta);
         }
     }
@@ -99,7 +100,7 @@ mod tests {
     fn symmetric_is_faster_at_scale() {
         // At k >= 4 the class count is 16+; the O(M) iteration wins.
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let k4 = pts.iter().find(|p| p.k == 4).unwrap();
         assert!(
             k4.symmetric_us < k4.general_us,
@@ -112,6 +113,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("speedup"));
+        assert!(run(&ctx).unwrap().contains("speedup"));
     }
 }

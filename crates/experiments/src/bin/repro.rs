@@ -70,7 +70,13 @@ fn main() -> ExitCode {
         println!("==========================================================");
         println!("== {} — {}", e.id, e.title);
         println!("==========================================================");
-        let report = (e.run)(&ctx);
+        let report = match (e.run)(&ctx) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("[{} failed: {err}]", e.id);
+                return ExitCode::FAILURE;
+            }
+        };
         println!("{report}");
         println!(
             "[{} finished in {:.2}s]\n",

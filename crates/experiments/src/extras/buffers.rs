@@ -10,6 +10,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_qnsim::MmsOptions;
@@ -55,7 +56,7 @@ pub fn sweep(ctx: &Ctx) -> Vec<BufferPoint> {
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> Result<String> {
     let pts = sweep(ctx);
     let mut t = Table::new(vec![
         "buffer",
@@ -78,13 +79,13 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ext_buffers", &t);
-    format!(
+    Ok(format!(
         "Finite switch buffers (paper footnote 3), p_remote = 0.5.\n\
          With limited buffering, messages queue in upstream stalls instead \
          of inbound queues, so S_obs flattens with n_t while U_p pays for \
          the blocking.\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -133,6 +134,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("footnote 3"));
+        assert!(run(&ctx).unwrap().contains("footnote 3"));
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_core::workload::CacheSpec;
@@ -30,7 +31,7 @@ pub struct CachePoint {
 }
 
 /// Sweep cache quality × sharing.
-pub fn sweep(ctx: &Ctx) -> Vec<CachePoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<CachePoint>> {
     let miss_rates: Vec<f64> = ctx.pick(vec![0.5, 0.25, 0.125, 0.0625], vec![0.5, 0.125]);
     let remote_fracs: Vec<f64> = ctx.pick(vec![0.2, 0.5, 0.8], vec![0.2, 0.8]);
     let cells = lt_core::sweep::grid(&miss_rates, &remote_fracs);
@@ -41,23 +42,23 @@ pub fn sweep(ctx: &Ctx) -> Vec<CachePoint> {
             remote_fraction,
         };
         let mut cfg = SystemConfig::paper_default();
-        cfg.workload = spec
-            .workload(cfg.workload.n_threads, cfg.workload.pattern)
-            .expect("valid cache spec");
-        CachePoint {
+        cfg.workload = spec.workload(cfg.workload.n_threads, cfg.workload.pattern)?;
+        Ok(CachePoint {
             miss_rate,
             remote_fraction,
             runlength: spec.runlength(),
-            rep: solve(&cfg).expect("solvable"),
-            tol_network: tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable"),
-            tol_memory: tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).expect("solvable"),
-        }
+            rep: solve(&cfg)?,
+            tol_network: tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)?,
+            tol_memory: tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay)?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut t = Table::new(vec![
         "miss rate",
         "remote frac",
@@ -79,11 +80,11 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ext_cache", &t);
-    format!(
+    Ok(format!(
         "Cache-derived workloads (paper footnote 4 made concrete): \
          R = 1/miss_rate, p_remote = remote miss fraction.\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -93,7 +94,7 @@ mod tests {
     #[test]
     fn better_caches_move_into_the_tolerated_zone() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let bad = pts
             .iter()
             .find(|p| p.miss_rate == 0.5 && p.remote_fraction == 0.8)
@@ -110,7 +111,7 @@ mod tests {
     fn sharing_fraction_only_matters_with_misses() {
         // At a fixed (good) miss rate, more remote sharing still costs.
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let low = pts
             .iter()
             .find(|p| p.miss_rate == 0.125 && p.remote_fraction == 0.2)
@@ -125,6 +126,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("footnote 4"));
+        assert!(run(&ctx).unwrap().contains("footnote 4"));
     }
 }

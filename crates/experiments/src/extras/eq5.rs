@@ -8,20 +8,21 @@
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
 use lt_core::bottleneck::critical_p_remote;
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::{linspace, parallel_map};
 
 /// Locate the largest `p_remote` whose `U_p` is still within `drop` of the
 /// all-local value.
-pub fn detect_knee(r: f64, n_t: usize, drop: f64, samples: usize) -> f64 {
+pub fn detect_knee(r: f64, n_t: usize, drop: f64, samples: usize) -> Result<f64> {
     let base = SystemConfig::paper_default()
         .with_runlength(r)
         .with_n_threads(n_t);
-    let u0 = solve(&base.with_p_remote(0.0)).expect("solvable").u_p;
+    let u0 = solve(&base.with_p_remote(0.0))?.u_p;
     let ps = linspace(0.01, 0.99, samples);
-    let us = parallel_map(&ps, |&p| {
-        solve(&base.with_p_remote(p)).expect("solvable").u_p
-    });
+    let us: Vec<f64> = parallel_map(&ps, |&p| Ok(solve(&base.with_p_remote(p))?.u_p))
+        .into_iter()
+        .collect::<Result<_>>()?;
     let mut knee = 0.0;
     for (&p, &u) in ps.iter().zip(&us) {
         if u >= (1.0 - drop) * u0 {
@@ -30,11 +31,11 @@ pub fn detect_knee(r: f64, n_t: usize, drop: f64, samples: usize) -> f64 {
             break;
         }
     }
-    knee
+    Ok(knee)
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> Result<String> {
     let samples = ctx.pick(50, 15);
     let d_avg =
         AccessPattern::geometric(0.5).d_avg(&SystemConfig::paper_default().arch.topology, 0);
@@ -45,7 +46,7 @@ pub fn run(ctx: &Ctx) -> String {
     ]);
     for r in [1.0, 2.0, 4.0] {
         let formula = critical_p_remote(r, 1.0, 1.0, d_avg);
-        let knee = detect_knee(r, 8, 0.05, samples);
+        let knee = detect_knee(r, 8, 0.05, samples)?;
         t.row(vec![
             fnum(r, 0),
             formula.map_or("none (never binds)".into(), |p| fnum(p, 3)),
@@ -53,7 +54,7 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("eq5", &t);
-    format!(
+    Ok(format!(
         "Critical p_remote (paper Eq. 5): \
          1/R = (1-p)/L + p/(2(d_avg+1)S).\n\n{}\n\
          The Eq. 5 knee is a bottleneck (asymptotic) argument; the finite-\n\
@@ -61,7 +62,7 @@ pub fn run(ctx: &Ctx) -> String {
          but not exactly at the closed form — the paper makes the same\n\
          qualitative use of it.\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -72,9 +73,9 @@ mod tests {
     fn knee_moves_right_with_runlength() {
         // The central Eq. 5 behavior: higher R tolerates more remote
         // traffic before U_p drops.
-        let k1 = detect_knee(1.0, 8, 0.05, 15);
-        let k2 = detect_knee(2.0, 8, 0.05, 15);
-        let k4 = detect_knee(4.0, 8, 0.05, 15);
+        let k1 = detect_knee(1.0, 8, 0.05, 15).unwrap();
+        let k2 = detect_knee(2.0, 8, 0.05, 15).unwrap();
+        let k4 = detect_knee(4.0, 8, 0.05, 15).unwrap();
         assert!(k2 > k1, "k2 {k2} vs k1 {k1}");
         assert!(k4 > k2, "k4 {k4} vs k2 {k2}");
     }
@@ -83,7 +84,7 @@ mod tests {
     fn formula_and_detection_agree_in_order_of_magnitude() {
         let d_avg = 1.7333333333;
         let formula = critical_p_remote(2.0, 1.0, 1.0, d_avg).unwrap();
-        let knee = detect_knee(2.0, 8, 0.05, 25);
+        let knee = detect_knee(2.0, 8, 0.05, 25).unwrap();
         assert!(
             (formula - knee).abs() < 0.35,
             "formula {formula} vs knee {knee}"
@@ -93,6 +94,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("critical p_remote"));
+        assert!(run(&ctx).unwrap().contains("critical p_remote"));
     }
 }

@@ -10,6 +10,8 @@
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
 use lt_core::analysis::{solve_network, SolverChoice};
+use lt_core::error::Result;
+use lt_core::num::exactly_zero;
 use lt_core::prelude::*;
 use lt_core::qn::build::build_network;
 use lt_core::sweep::parallel_map;
@@ -32,18 +34,18 @@ pub struct HotSpotPoint {
 }
 
 /// Run the hot-fraction sweep.
-pub fn sweep(ctx: &Ctx) -> Vec<HotSpotPoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<HotSpotPoint>> {
     let horizon = ctx.pick(60_000.0, 8_000.0);
     let hots: Vec<f64> = ctx.pick(vec![0.0, 0.2, 0.4, 0.6, 0.8], vec![0.0, 0.5]);
     parallel_map(&hots, |&p_hot| {
         let cfg = SystemConfig::paper_default()
             .with_p_remote(0.4)
             .with_pattern(AccessPattern::hot_spot(p_hot));
-        let mms = build_network(&cfg).expect("buildable");
-        assert!(p_hot == 0.0 || !mms.is_symmetric());
-        let sol = solve_network(&mms, SolverChoice::Auto).expect("solvable");
+        let mms = build_network(&cfg)?;
+        assert!(exactly_zero(p_hot) || !mms.is_symmetric());
+        let sol = solve_network(&mms, SolverChoice::Auto)?;
         let rep = lt_core::metrics::report(&mms, &sol);
-        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)?;
         let sim = lt_qnsim::simulate(
             &cfg,
             &MmsOptions {
@@ -54,20 +56,22 @@ pub fn sweep(ctx: &Ctx) -> Vec<HotSpotPoint> {
                 ..MmsOptions::default()
             },
         );
-        HotSpotPoint {
+        Ok(HotSpotPoint {
             p_hot,
             u_p: rep.u_p,
             u_p_hot: rep.u_p_per_class[0],
             hot_memory_util: sol.utilization(&mms.net, mms.idx.mem(0)),
             tol_network: tol.index,
             sim_u_p: sim.u_p.mean,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut t = Table::new(vec![
         "p_hot",
         "U_p (mean)",
@@ -87,13 +91,13 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ext_hotspot", &t);
-    format!(
+    Ok(format!(
         "Hot-spot traffic (extension), p_remote = 0.4, hot module at node 0.\n\
          The hot memory saturates and drags the whole machine down; note the\n\
          hot node's own processor suffers *most* (its local memory is the\n\
          contended one).\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -103,7 +107,7 @@ mod tests {
     #[test]
     fn hot_memory_saturates_and_u_p_falls() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let base = pts.iter().find(|p| p.p_hot == 0.0).unwrap();
         let hot = pts.iter().find(|p| p.p_hot == 0.5).unwrap();
         assert!(hot.hot_memory_util > base.hot_memory_util + 0.2);
@@ -113,7 +117,7 @@ mod tests {
     #[test]
     fn model_tracks_simulation_under_asymmetry() {
         let ctx = Ctx::quick_temp();
-        for p in sweep(&ctx) {
+        for p in sweep(&ctx).unwrap() {
             let rel = (p.u_p - p.sim_u_p).abs() / p.sim_u_p;
             assert!(
                 rel < 0.08,
@@ -128,7 +132,7 @@ mod tests {
     #[test]
     fn hot_node_processor_suffers_most() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let hot = pts.iter().find(|p| p.p_hot == 0.5).unwrap();
         assert!(
             hot.u_p_hot < hot.u_p,
@@ -141,6 +145,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("Hot-spot"));
+        assert!(run(&ctx).unwrap().contains("Hot-spot"));
     }
 }

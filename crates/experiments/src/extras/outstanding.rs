@@ -11,6 +11,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_qnsim::MmsOptions;
@@ -56,7 +57,7 @@ pub fn sweep(ctx: &Ctx) -> Vec<OutstandingPoint> {
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> Result<String> {
     let pts = sweep(ctx);
     let mut t = Table::new(vec!["cap", "n_t", "U_p", "lambda_net", "issue stalls"]);
     for p in &pts {
@@ -69,13 +70,13 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ext_outstanding", &t);
-    format!(
+    Ok(format!(
         "Limited concurrent memory operations (extension; the paper's \
          Section 6 hardware-parallelism explanation), p_remote = 0.5.\n\
          Threads beyond the outstanding-access cap cannot overlap more \
          latency: U_p(n_t) flattens at the cap.\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -112,6 +113,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("hardware-parallelism"));
+        assert!(run(&ctx).unwrap().contains("hardware-parallelism"));
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_qnsim::MmsOptions;
@@ -29,14 +30,14 @@ pub struct PortsPoint {
 }
 
 /// Run the comparison in a memory-bound setting (`L = 2R`).
-pub fn sweep(ctx: &Ctx) -> Vec<PortsPoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<PortsPoint>> {
     let horizon = ctx.pick(80_000.0, 10_000.0);
     let cells = [1usize, 2, 4];
     parallel_map(&cells, |&ports| {
         let cfg = SystemConfig::paper_default()
             .with_memory_latency(2.0)
             .with_memory_ports(ports);
-        let model_u_p = solve(&cfg).expect("solvable").u_p;
+        let model_u_p = solve(&cfg)?.u_p;
         let sim = lt_qnsim::simulate(
             &cfg,
             &MmsOptions {
@@ -60,23 +61,24 @@ pub fn sweep(ctx: &Ctx) -> Vec<PortsPoint> {
             visits: vec![vec![1.0, 1.0]],
         };
         let isolated_exact =
-            load_dependent::solve(&iso, &[RateFn::Fixed, RateFn::MultiServer(ports)])
-                .expect("solvable")
-                .throughput[0];
-        let isolated_seidmann = solve(&cfg.with_p_remote(0.0)).expect("solvable").u_p;
-        PortsPoint {
+            load_dependent::solve(&iso, &[RateFn::Fixed, RateFn::MultiServer(ports)])?.throughput
+                [0];
+        let isolated_seidmann = solve(&cfg.with_p_remote(0.0))?.u_p;
+        Ok(PortsPoint {
             ports,
             model_u_p,
             sim_u_p: sim.u_p.mean,
             isolated_exact,
             isolated_seidmann,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut t = Table::new(vec![
         "ports",
         "model U_p (Seidmann)",
@@ -101,11 +103,11 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ext_ports", &t);
-    format!(
+    Ok(format!(
         "Multi-ported memory in a memory-bound setting (L = 2, R = 1, \
          p_remote = 0.2).\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -115,7 +117,7 @@ mod tests {
     #[test]
     fn more_ports_raise_utilization_in_model_and_sim() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         assert!(pts[1].model_u_p > pts[0].model_u_p);
         assert!(pts[2].model_u_p > pts[1].model_u_p);
         assert!(pts[1].sim_u_p > pts[0].sim_u_p);
@@ -125,7 +127,7 @@ mod tests {
     #[test]
     fn seidmann_tracks_exact_multiserver() {
         let ctx = Ctx::quick_temp();
-        for p in sweep(&ctx) {
+        for p in sweep(&ctx).unwrap() {
             let err = (p.model_u_p - p.sim_u_p).abs() / p.sim_u_p;
             assert!(err < 0.1, "{} ports: err {err}", p.ports);
         }
@@ -134,7 +136,7 @@ mod tests {
     #[test]
     fn exact_load_dependent_bounds_seidmann_error() {
         let ctx = Ctx::quick_temp();
-        for p in sweep(&ctx) {
+        for p in sweep(&ctx).unwrap() {
             let err = (p.isolated_seidmann - p.isolated_exact).abs() / p.isolated_exact;
             assert!(err < 0.06, "{} ports: isolated LD err {err}", p.ports);
         }
@@ -143,6 +145,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("Seidmann"));
+        assert!(run(&ctx).unwrap().contains("Seidmann"));
     }
 }

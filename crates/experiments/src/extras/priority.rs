@@ -11,6 +11,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_qnsim::MmsOptions;
@@ -29,7 +30,7 @@ pub struct PriorityPoint {
 }
 
 /// Run the comparison.
-pub fn sweep(ctx: &Ctx) -> Vec<PriorityPoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<PriorityPoint>> {
     let horizon = ctx.pick(80_000.0, 10_000.0);
     let mut cells = Vec::new();
     for &s in &[0.0, 1.0] {
@@ -53,22 +54,24 @@ pub fn sweep(ctx: &Ctx) -> Vec<PriorityPoint> {
             },
         );
         let model = if priority {
-            lt_core::analysis::solve_priority(&cfg).expect("solvable")
+            lt_core::analysis::solve_priority(&cfg)?
         } else {
-            solve(&cfg).expect("solvable")
+            solve(&cfg)?
         };
-        PriorityPoint {
+        Ok(PriorityPoint {
             s,
             priority,
             res,
             model,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut t = Table::new(vec![
         "S",
         "policy",
@@ -92,11 +95,11 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("ext_priority", &t);
-    format!(
+    Ok(format!(
         "EM-4-style local-priority memory (Section 7 discussion), \
          p_remote = 0.5.\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -110,7 +113,7 @@ mod tests {
     #[test]
     fn priority_cuts_local_latency_under_fast_network() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let fifo = at(&pts, 0.0, false).res.l_obs_local.mean;
         let prio = at(&pts, 0.0, true).res.l_obs_local.mean;
         assert!(prio < fifo, "priority {prio} !< fifo {fifo}");
@@ -121,7 +124,7 @@ mod tests {
         // Total throughput stays close: the policy reshuffles waiting, it
         // does not add capacity.
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         for &s in &[0.0, 1.0] {
             let a = at(&pts, s, false).res.lambda_proc.mean;
             let b = at(&pts, s, true).res.lambda_proc.mean;
@@ -132,7 +135,7 @@ mod tests {
     #[test]
     fn shadow_server_model_tracks_simulated_priority() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         for p in pts.iter().filter(|p| p.priority) {
             let rel = (p.model.u_p - p.res.u_p.mean).abs() / p.res.u_p.mean;
             assert!(
@@ -151,6 +154,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("local-priority"));
+        assert!(run(&ctx).unwrap().contains("local-priority"));
     }
 }

@@ -12,6 +12,7 @@ use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
 use crate::svg::SvgChart;
 use lt_core::bottleneck::critical_p_remote;
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::{grid, linspace, parallel_map};
 
@@ -28,7 +29,7 @@ pub struct ZoneCell {
 }
 
 /// Compute the map.
-pub fn sweep(ctx: &Ctx) -> Vec<ZoneCell> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<ZoneCell>> {
     let rs: Vec<f64> = ctx.pick(linspace(0.5, 8.0, 16), vec![1.0, 2.0, 4.0]);
     let ps: Vec<f64> = ctx.pick(linspace(0.05, 0.95, 19), vec![0.1, 0.4, 0.8]);
     let cells = grid(&rs, &ps);
@@ -36,14 +37,16 @@ pub fn sweep(ctx: &Ctx) -> Vec<ZoneCell> {
         let cfg = SystemConfig::paper_default()
             .with_runlength(r)
             .with_p_remote(p);
-        let t = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
-        ZoneCell {
+        let t = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)?;
+        Ok(ZoneCell {
             r,
             p_remote: p,
             tol: t.index,
             zone: t.zone,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Trace the boundary `p*(R)` where the tolerance first drops below
@@ -58,6 +61,7 @@ pub fn boundary(cells: &[ZoneCell], threshold: f64) -> Vec<(f64, f64)> {
                 .iter()
                 .filter(|c| c.r == r && c.tol < threshold)
                 .map(|c| c.p_remote)
+                // lt-lint: allow(LT04, fold seed; the is_finite check below maps "no crossing" to 1.0)
                 .fold(f64::INFINITY, f64::min);
             (r, if crossing.is_finite() { crossing } else { 1.0 })
         })
@@ -65,8 +69,8 @@ pub fn boundary(cells: &[ZoneCell], threshold: f64) -> Vec<(f64, f64)> {
 }
 
 /// Generate the report.
-pub fn run(ctx: &Ctx) -> String {
-    let cells = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let cells = sweep(ctx)?;
     let mut csv = Table::new(vec!["R", "p_remote", "tol_network", "zone"]);
     for c in &cells {
         csv.row(vec![
@@ -113,12 +117,12 @@ pub fn run(ctx: &Ctx) -> String {
             critical_p_remote(*r, 1.0, 1.0, 1.7333333333).map_or("-".into(), |p| fnum(p, 3)),
         ]);
     }
-    format!(
+    Ok(format!(
         "Tolerance-zone design map over (R, p_remote) — the compiler's \
          chart: stay left of/below the 0.8 boundary and the network is \
          free.\n\n{}\n{csv_note}\n{svg_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -129,7 +133,7 @@ mod tests {
     fn boundaries_are_monotone_in_r() {
         // Longer runlengths tolerate more remote traffic: p*(R) rises.
         let ctx = Ctx::quick_temp();
-        let cells = sweep(&ctx);
+        let cells = sweep(&ctx).unwrap();
         let b = boundary(&cells, 0.8);
         for w in b.windows(2) {
             assert!(
@@ -144,7 +148,7 @@ mod tests {
     #[test]
     fn partial_boundary_lies_beyond_tolerated_boundary() {
         let ctx = Ctx::quick_temp();
-        let cells = sweep(&ctx);
+        let cells = sweep(&ctx).unwrap();
         let b08 = boundary(&cells, 0.8);
         let b05 = boundary(&cells, 0.5);
         for ((_, p8), (_, p5)) in b08.iter().zip(&b05) {
@@ -155,6 +159,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("design map"));
+        assert!(run(&ctx).unwrap().contains("design map"));
     }
 }

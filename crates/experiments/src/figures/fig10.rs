@@ -14,6 +14,7 @@
 use crate::ctx::Ctx;
 use crate::output::{ascii_chart, fnum, Table};
 use crate::svg::SvgChart;
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_core::topology::Topology;
@@ -63,7 +64,7 @@ pub struct Fig10Point {
 }
 
 /// Solve all series over the size axis.
-pub fn sweep(ctx: &Ctx) -> Vec<Fig10Point> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<Fig10Point>> {
     let ks: Vec<usize> = ctx.pick((2..=10).collect(), vec![2, 4, 6]);
     let mut cells = Vec::new();
     for &k in &ks {
@@ -71,16 +72,20 @@ pub fn sweep(ctx: &Ctx) -> Vec<Fig10Point> {
             cells.push((k, s));
         }
     }
-    parallel_map(&cells, |&(k, series)| Fig10Point {
-        k,
-        series,
-        rep: solve(&series.config(k)).expect("solvable"),
+    parallel_map(&cells, |&(k, series)| {
+        Ok(Fig10Point {
+            k,
+            series,
+            rep: solve(&series.config(k))?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the figure.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut csv = Table::new(vec![
         "k",
         "P",
@@ -116,6 +121,7 @@ pub fn run(ctx: &Ctx) -> String {
                 pts.iter()
                     .find(|p| p.k == k && p.series == series)
                     .map(|p| f(&p.rep))
+                    // lt-lint: allow(LT04, NaN marks a missing grid cell; the chart skips non-finite points)
                     .unwrap_or(f64::NAN)
             })
             .collect()
@@ -186,7 +192,7 @@ pub fn run(ctx: &Ctx) -> String {
     for n in notes {
         out.push_str(&format!("{n}\n"));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -200,7 +206,7 @@ mod tests {
     #[test]
     fn geometric_scales_nearly_linearly() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         // Throughput per PE roughly constant for the geometric pattern.
         let per_pe_small = at(&pts, 2, Series::Geometric).rep.u_p;
         let per_pe_large = at(&pts, 6, Series::Geometric).rep.u_p;
@@ -213,7 +219,7 @@ mod tests {
     #[test]
     fn uniform_throughput_falls_behind() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let geo = at(&pts, 6, Series::Geometric).rep.system_throughput;
         let uni = at(&pts, 6, Series::Uniform).rep.system_throughput;
         assert!(geo > 1.2 * uni, "geo {geo} vs uni {uni}");
@@ -224,7 +230,7 @@ mod tests {
         // The paper's pipeline-buffer effect: with S = 0 the memory sees
         // more contention, so L_obs rises above the finite-S system's.
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         for &k in &[4usize, 6] {
             let ideal = at(&pts, k, Series::IdealNetwork).rep.l_obs;
             let real = at(&pts, k, Series::Geometric).rep.l_obs;
@@ -238,7 +244,7 @@ mod tests {
     #[test]
     fn uniform_s_obs_grows_with_size() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let s_small = at(&pts, 2, Series::Uniform).rep.s_obs;
         let s_large = at(&pts, 6, Series::Uniform).rep.s_obs;
         assert!(s_large > s_small);
@@ -247,7 +253,7 @@ mod tests {
     #[test]
     fn report_renders_both_panels() {
         let ctx = Ctx::quick_temp();
-        let text = run(&ctx);
+        let text = run(&ctx).unwrap();
         assert!(text.contains("(a) system throughput"));
         assert!(text.contains("(b) observed latencies"));
     }

@@ -14,6 +14,8 @@
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
 use crate::svg::SvgChart;
+use lt_core::error::Result;
+use lt_core::num::exactly_zero;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 use lt_desim::DistFamily;
@@ -40,7 +42,7 @@ pub fn horizon(ctx: &Ctx) -> f64 {
 }
 
 /// Run the validation sweep.
-pub fn sweep(ctx: &Ctx) -> Vec<ValidationPoint> {
+pub fn sweep(ctx: &Ctx) -> Result<Vec<ValidationPoint>> {
     let n_ts: Vec<usize> = ctx.pick(vec![1, 2, 4, 6, 8, 12, 16], vec![2, 8]);
     let mut cells = Vec::new();
     for &s in &[1.0, 2.0] {
@@ -54,7 +56,7 @@ pub fn sweep(ctx: &Ctx) -> Vec<ValidationPoint> {
             .with_p_remote(0.5)
             .with_switch_delay(s)
             .with_n_threads(n_t);
-        let model = solve(&cfg).expect("solvable");
+        let model = solve(&cfg)?;
         let stpn = lt_stpn::mms::simulate(
             &cfg,
             &SimSettings {
@@ -75,18 +77,20 @@ pub fn sweep(ctx: &Ctx) -> Vec<ValidationPoint> {
                 ..MmsOptions::default()
             },
         );
-        ValidationPoint {
+        Ok(ValidationPoint {
             s,
             n_t,
             model,
             stpn,
             direct,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 fn rel(a: f64, b: f64) -> f64 {
-    if b == 0.0 {
+    if exactly_zero(b) {
         0.0
     } else {
         (a - b).abs() / b
@@ -94,8 +98,8 @@ fn rel(a: f64, b: f64) -> f64 {
 }
 
 /// Generate the validation report.
-pub fn run(ctx: &Ctx) -> String {
-    let pts = sweep(ctx);
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let pts = sweep(ctx)?;
     let mut table = Table::new(vec![
         "S",
         "n_t",
@@ -169,7 +173,7 @@ pub fn run(ctx: &Ctx) -> String {
             ..SimSettings::default()
         },
     );
-    let model = solve(&cfg).expect("solvable");
+    let model = solve(&cfg)?;
     let det_shift = rel(det.s_obs.mean, model.s_obs);
 
     let mut out = String::from(
@@ -189,7 +193,7 @@ pub fn run(ctx: &Ctx) -> String {
         fnum(det_shift * 100.0, 1)
     ));
     out.push_str(&format!("{csv_note}\n{svg_note}\n"));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -199,7 +203,7 @@ mod tests {
     #[test]
     fn model_tracks_both_simulators() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         for p in &pts {
             assert!(
                 rel(p.model.lambda_net, p.stpn.lambda_net.mean) < 0.08,
@@ -223,7 +227,7 @@ mod tests {
     #[test]
     fn lambda_net_increases_with_threads_and_saturates() {
         let ctx = Ctx::quick_temp();
-        let pts = sweep(&ctx);
+        let pts = sweep(&ctx).unwrap();
         let at = |s: f64, n: usize| {
             pts.iter()
                 .find(|p| p.s == s && p.n_t == n)
@@ -240,7 +244,7 @@ mod tests {
     #[test]
     fn report_renders_summary_lines() {
         let ctx = Ctx::quick_temp();
-        let text = run(&ctx);
+        let text = run(&ctx).unwrap();
         assert!(text.contains("Worst-case model-vs-STPN error"));
         assert!(text.contains("Deterministic-memory"));
     }

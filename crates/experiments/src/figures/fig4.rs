@@ -14,7 +14,7 @@ use crate::ctx::Ctx;
 use crate::figures::common::network_surface_report;
 
 /// Generate the figure.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> lt_core::error::Result<String> {
     network_surface_report(ctx, 1.0, "fig4")
 }
 
@@ -26,7 +26,7 @@ mod tests {
     #[test]
     fn report_mentions_saturation() {
         let ctx = Ctx::quick_temp();
-        let text = run(&ctx);
+        let text = run(&ctx).unwrap();
         assert!(text.contains("Saturation"));
         assert!(text.contains("tol_network"));
     }
@@ -34,7 +34,7 @@ mod tests {
     #[test]
     fn u_p_decreases_with_p_remote_at_fixed_threads() {
         let ctx = Ctx::quick_temp();
-        let pts = network_surface(&ctx, 1.0);
+        let pts = network_surface(&ctx, 1.0).unwrap();
         let at = |p: f64| {
             pts.iter()
                 .find(|pt| pt.n_t == 8 && (pt.p_remote - p).abs() < 1e-9)
@@ -51,7 +51,7 @@ mod tests {
         // Paper: λ_net saturates at ~0.29 for S = 1 (within the few percent
         // the finite-population model leaves below the open bound).
         let ctx = Ctx::quick_temp();
-        let pts = network_surface(&ctx, 1.0);
+        let pts = network_surface(&ctx, 1.0).unwrap();
         let max_net = pts
             .iter()
             .map(|p| p.rep.lambda_net)
@@ -63,7 +63,7 @@ mod tests {
     fn tolerance_zones_all_appear_on_surface() {
         use lt_core::prelude::ToleranceZone;
         let ctx = Ctx::quick_temp();
-        let pts = network_surface(&ctx, 1.0);
+        let pts = network_surface(&ctx, 1.0).unwrap();
         let zones: Vec<_> = pts.iter().map(|p| p.tol_network.zone).collect();
         assert!(zones.contains(&ToleranceZone::Tolerated));
         assert!(zones.contains(&ToleranceZone::PartiallyTolerated));

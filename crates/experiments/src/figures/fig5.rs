@@ -9,7 +9,7 @@ use crate::ctx::Ctx;
 use crate::figures::common::network_surface_report;
 
 /// Generate the figure.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> lt_core::error::Result<String> {
     network_surface_report(ctx, 2.0, "fig5")
 }
 
@@ -21,15 +21,15 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("R = 2"));
+        assert!(run(&ctx).unwrap().contains("R = 2"));
     }
 
     #[test]
     fn r2_tolerates_more_than_r1() {
         // Same (n_t, p_remote): R = 2 must tolerate at least as well.
         let ctx = Ctx::quick_temp();
-        let r1 = network_surface(&ctx, 1.0);
-        let r2 = network_surface(&ctx, 2.0);
+        let r1 = network_surface(&ctx, 1.0).unwrap();
+        let r2 = network_surface(&ctx, 2.0).unwrap();
         for (a, b) in r1.iter().zip(&r2) {
             assert_eq!((a.n_t, a.p_remote), (b.n_t, b.p_remote));
             assert!(
@@ -48,8 +48,8 @@ mod tests {
         // λ_net at p_remote = 0.3: R = 1 is near saturation; R = 2 is not
         // (its message rate is half as high).
         let ctx = Ctx::quick_temp();
-        let r1 = network_surface(&ctx, 1.0);
-        let r2 = network_surface(&ctx, 2.0);
+        let r1 = network_surface(&ctx, 1.0).unwrap();
+        let r2 = network_surface(&ctx, 2.0).unwrap();
         let net = |pts: &[crate::figures::common::SurfacePoint], p: f64| {
             pts.iter()
                 .filter(|pt| pt.n_t == 16 && (pt.p_remote - p).abs() < 1e-9)

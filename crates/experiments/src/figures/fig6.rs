@@ -6,6 +6,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{ascii_chart, fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::{grid, parallel_map};
 
@@ -17,22 +18,24 @@ pub fn axes(ctx: &Ctx) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// Solve the surface for one `p_remote`.
-pub fn surface(ctx: &Ctx, p_remote: f64) -> Vec<(usize, usize, ToleranceReport)> {
+pub fn surface(ctx: &Ctx, p_remote: f64) -> Result<Vec<(usize, usize, ToleranceReport)>> {
     let (n_ts, rs) = axes(ctx);
     let cells = grid(&n_ts, &rs);
     let base = SystemConfig::paper_default().with_p_remote(p_remote);
     parallel_map(&cells, |&(n_t, r)| {
         let cfg = base.with_n_threads(n_t).with_runlength(r as f64);
-        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable");
-        (n_t, r, tol)
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)?;
+        Ok((n_t, r, tol))
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the figure.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> Result<String> {
     let mut out = String::from("tol_network over the (n_t, R) plane (paper Figure 6).\n\n");
     for &p_remote in &[0.2, 0.4] {
-        let pts = surface(ctx, p_remote);
+        let pts = surface(ctx, p_remote)?;
         let mut csv = Table::new(vec!["p_remote", "n_t", "R", "tol_network", "u_p", "zone"]);
         let mut zone_counts = [0usize; 3];
         for (n_t, r, tol) in &pts {
@@ -70,6 +73,7 @@ pub fn run(ctx: &Ctx) -> String {
                         pts.iter()
                             .find(|(nt, rr, _)| *nt == n && *rr == r)
                             .map(|(_, _, t)| t.index)
+                            // lt-lint: allow(LT04, NaN marks a missing grid cell; the chart skips non-finite points)
                             .unwrap_or(f64::NAN)
                     })
                     .collect();
@@ -92,7 +96,7 @@ pub fn run(ctx: &Ctx) -> String {
             zone_counts[0], zone_counts[1], zone_counts[2], csv_note
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -102,7 +106,7 @@ mod tests {
     #[test]
     fn tolerance_monotone_in_runlength() {
         let ctx = Ctx::quick_temp();
-        let pts = surface(&ctx, 0.4);
+        let pts = surface(&ctx, 0.4).unwrap();
         let at = |n_t: usize, r: usize| {
             pts.iter()
                 .find(|(n, rr, _)| *n == n_t && *rr == r)
@@ -117,8 +121,8 @@ mod tests {
     #[test]
     fn higher_p_remote_lowers_surface() {
         let ctx = Ctx::quick_temp();
-        let lo = surface(&ctx, 0.2);
-        let hi = surface(&ctx, 0.4);
+        let lo = surface(&ctx, 0.2).unwrap();
+        let hi = surface(&ctx, 0.4).unwrap();
         for ((n, r, a), (n2, r2, b)) in lo.iter().zip(&hi) {
             assert_eq!((n, r), (n2, r2));
             assert!(b.index <= a.index + 0.02);
@@ -128,7 +132,7 @@ mod tests {
     #[test]
     fn report_renders_both_p_values() {
         let ctx = Ctx::quick_temp();
-        let text = run(&ctx);
+        let text = run(&ctx).unwrap();
         assert!(text.contains("p_remote = 0.2"));
         assert!(text.contains("p_remote = 0.4"));
     }

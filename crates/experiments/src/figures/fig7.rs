@@ -10,6 +10,7 @@
 use crate::ctx::Ctx;
 use crate::figures::common::divisor_pairs;
 use crate::output::{ascii_chart, fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 
@@ -33,7 +34,7 @@ pub struct PartitionPoint {
 }
 
 /// Solve every divisor pair for every product at one `p_remote`.
-pub fn partition_sweep(p_remote: f64) -> Vec<PartitionPoint> {
+pub fn partition_sweep(p_remote: f64) -> Result<Vec<PartitionPoint>> {
     let mut cells = Vec::new();
     for &product in &PRODUCTS {
         for (n_t, r) in divisor_pairs(product) {
@@ -43,24 +44,26 @@ pub fn partition_sweep(p_remote: f64) -> Vec<PartitionPoint> {
     let base = SystemConfig::paper_default().with_p_remote(p_remote);
     parallel_map(&cells, |&(product, n_t, r)| {
         let cfg = base.with_n_threads(n_t).with_runlength(r as f64);
-        PartitionPoint {
+        Ok(PartitionPoint {
             product,
             n_t,
             r,
             p_remote,
-            rep: solve(&cfg).expect("solvable"),
-            tol: tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay).expect("solvable"),
-        }
+            rep: solve(&cfg)?,
+            tol: tolerance_index(&cfg, IdealSpec::ZeroSwitchDelay)?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the figure.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> Result<String> {
     let mut out = String::from(
         "Thread partitioning: tol_network along n_t * R = const (paper Figure 7).\n\n",
     );
     for &p_remote in &[0.2, 0.4] {
-        let pts = partition_sweep(p_remote);
+        let pts = partition_sweep(p_remote)?;
         let mut csv = Table::new(vec![
             "p_remote",
             "product",
@@ -98,6 +101,7 @@ pub fn run(ctx: &Ctx) -> String {
                         pts.iter()
                             .find(|p| p.product == prod && p.r == r)
                             .map(|p| p.tol.index)
+                            // lt-lint: allow(LT04, NaN marks a missing grid cell; the chart skips non-finite points)
                             .unwrap_or(f64::NAN)
                     })
                     .collect();
@@ -117,7 +121,7 @@ pub fn run(ctx: &Ctx) -> String {
         ));
         out.push_str(&format!("{csv_note}\n\n"));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -127,7 +131,7 @@ mod tests {
     #[test]
     fn larger_product_tolerates_better() {
         // At matched R, the curve with larger n_t*R lies above.
-        let pts = partition_sweep(0.2);
+        let pts = partition_sweep(0.2).unwrap();
         let at = |prod: usize, r: usize| {
             pts.iter()
                 .find(|p| p.product == prod && p.r == r)
@@ -142,7 +146,7 @@ mod tests {
         // Paper: "a high R (rather than a high n_t) provides better latency
         // tolerance, as long as n_t is more than 1". Compare (n_t=2, R=4)
         // with (n_t=4, R=2) and (n_t=8, R=1) on the product-8 curve.
-        let pts = partition_sweep(0.4);
+        let pts = partition_sweep(0.4).unwrap();
         let at = |n_t: usize, r: usize| {
             pts.iter()
                 .find(|p| p.product == 8 && p.n_t == n_t && p.r == r)
@@ -157,7 +161,7 @@ mod tests {
     #[test]
     fn single_thread_cannot_overlap() {
         // n_t = 1 forfeits multithreading: U_p is lowest on each curve.
-        let pts = partition_sweep(0.2);
+        let pts = partition_sweep(0.2).unwrap();
         for &prod in &[4usize, 8] {
             let u1 = pts
                 .iter()
@@ -177,6 +181,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("n_t x R = 10"));
+        assert!(run(&ctx).unwrap().contains("n_t x R = 10"));
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{ascii_chart, fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::{grid, parallel_map};
 
@@ -18,23 +19,25 @@ pub fn axes(ctx: &Ctx) -> (Vec<usize>, Vec<usize>) {
 }
 
 /// Solve the `tol_memory` surface for one memory latency.
-pub fn surface(ctx: &Ctx, l: f64) -> Vec<(usize, usize, ToleranceReport)> {
+pub fn surface(ctx: &Ctx, l: f64) -> Result<Vec<(usize, usize, ToleranceReport)>> {
     let (n_ts, rs) = axes(ctx);
     let cells = grid(&n_ts, &rs);
     let base = SystemConfig::paper_default().with_memory_latency(l);
     parallel_map(&cells, |&(n_t, r)| {
         let cfg = base.with_n_threads(n_t).with_runlength(r as f64);
-        let tol = tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).expect("solvable");
-        (n_t, r, tol)
+        let tol = tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay)?;
+        Ok((n_t, r, tol))
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the figure.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> Result<String> {
     let mut out =
         String::from("tol_memory over the (n_t, R) plane, p_remote = 0.2 (paper Figure 8).\n\n");
     for &l in &[1.0, 2.0] {
-        let pts = surface(ctx, l);
+        let pts = surface(ctx, l)?;
         let mut csv = Table::new(vec!["L", "n_t", "R", "tol_memory", "u_p", "zone"]);
         for (n_t, r, tol) in &pts {
             csv.row(vec![
@@ -59,6 +62,7 @@ pub fn run(ctx: &Ctx) -> String {
                         pts.iter()
                             .find(|(nt, rr, _)| *nt == n && *rr == r)
                             .map(|(_, _, t)| t.index)
+                            // lt-lint: allow(LT04, NaN marks a missing grid cell; the chart skips non-finite points)
                             .unwrap_or(f64::NAN)
                     })
                     .collect();
@@ -78,7 +82,7 @@ pub fn run(ctx: &Ctx) -> String {
         ));
         out.push_str(&format!("{csv_note}\n\n"));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -89,7 +93,7 @@ mod tests {
     fn memory_tolerance_saturates_for_long_runlengths() {
         // Paper: "For R >= 2L and n_t >= 6, tol_memory saturates at ~1".
         let ctx = Ctx::quick_temp();
-        let pts = surface(&ctx, 1.0);
+        let pts = surface(&ctx, 1.0).unwrap();
         let t = pts
             .iter()
             .find(|(n, r, _)| *n == 8 && *r == 4)
@@ -102,8 +106,8 @@ mod tests {
     #[test]
     fn doubling_l_lowers_tolerance() {
         let ctx = Ctx::quick_temp();
-        let l1 = surface(&ctx, 1.0);
-        let l2 = surface(&ctx, 2.0);
+        let l1 = surface(&ctx, 1.0).unwrap();
+        let l2 = surface(&ctx, 2.0).unwrap();
         for ((n, r, a), (n2, r2, b)) in l1.iter().zip(&l2) {
             assert_eq!((n, r), (n2, r2));
             assert!(
@@ -133,7 +137,7 @@ mod tests {
     #[test]
     fn report_renders_both_l_values() {
         let ctx = Ctx::quick_temp();
-        let text = run(&ctx);
+        let text = run(&ctx).unwrap();
         assert!(text.contains("L = 1"));
         assert!(text.contains("L = 2"));
     }

@@ -17,6 +17,8 @@
 //! whole evaluation runs in seconds (used by the benches and CI); full
 //! resolution matches the grids documented in DESIGN.md.
 
+#![forbid(unsafe_code)]
+
 pub mod ctx;
 pub mod output;
 pub mod svg;
@@ -36,7 +38,9 @@ pub struct Experiment {
     /// One-line description.
     pub title: &'static str,
     /// Generator: renders the report and writes CSVs via the context.
-    pub run: fn(&Ctx) -> String,
+    /// Solver failures propagate as `LtError` instead of panicking so the
+    /// `repro` binary can report which experiment died and why.
+    pub run: fn(&Ctx) -> lt_core::error::Result<String>,
 }
 
 /// Every experiment, in the order of the paper's evaluation.

@@ -155,6 +155,7 @@ pub fn ascii_chart(
         out.push_str("(no data)\n");
         return out;
     }
+    // lt-lint: allow(LT04, fold seeds for the y-range; the !is_finite branch below catches the empty case)
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
     for (_, ys) in series {
         for &y in ys.iter().filter(|y| y.is_finite()) {
@@ -169,7 +170,9 @@ pub fn ascii_chart(
     if y_max - y_min < 1e-12 {
         y_max = y_min + 1.0;
     }
+    // lt-lint: allow(LT01, invariant: guarded by the xs.is_empty early return above)
     let x_min = xs.first().copied().unwrap();
+    // lt-lint: allow(LT01, invariant: guarded by the xs.is_empty early return above)
     let x_max = xs.last().copied().unwrap();
     let x_span = (x_max - x_min).max(1e-12);
 

@@ -59,13 +59,13 @@ pub fn matched_pairs<'a>(
 }
 
 /// Generate the table.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> lt_core::error::Result<String> {
     let mut out = String::from(
         "Equal S_obs, different tolerance (paper Table 2): the observed \
          network latency does not determine whether it is tolerated.\n\n",
     );
     for r in [1.0, 2.0] {
-        let pts = network_surface(ctx, r);
+        let pts = network_surface(ctx, r)?;
         let pairs = matched_pairs(&pts, 0.03, 0.15, 4);
         let mut t = Table::new(vec![
             "R",
@@ -96,7 +96,7 @@ pub fn run(ctx: &Ctx) -> String {
         out.push_str(&t.render());
         out.push_str(&format!("{csv_note}\n\n"));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -108,7 +108,7 @@ mod tests {
         // On the full surface there must be near-equal S_obs values whose
         // tolerance differs markedly — the paper's core Table 2 point.
         let ctx = Ctx::quick_temp();
-        let pts = network_surface(&ctx, 1.0);
+        let pts = network_surface(&ctx, 1.0).unwrap();
         let pairs = matched_pairs(&pts, 0.10, 0.10, 4);
         assert!(
             !pairs.is_empty(),
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn report_renders_both_runlengths() {
         let ctx = Ctx::quick_temp();
-        let text = run(&ctx);
+        let text = run(&ctx).unwrap();
         assert!(text.contains("R = 1"));
         assert!(text.contains("R = 2"));
     }

@@ -7,14 +7,14 @@ use crate::figures::fig7::partition_sweep;
 use crate::output::{fnum, Table};
 
 /// Generate the table.
-pub fn run(ctx: &Ctx) -> String {
+pub fn run(ctx: &Ctx) -> lt_core::error::Result<String> {
     let mut out = String::from(
         "Thread partitioning vs network latency tolerance (paper Table 3).\n\
          Rows hold n_t * R constant (exposed computation) and trade thread \
          count against granularity.\n\n",
     );
     for p_remote in [0.2, 0.4] {
-        let pts = partition_sweep(p_remote);
+        let pts = partition_sweep(p_remote)?;
         let mut t = Table::new(vec![
             "p_remote",
             "n_t",
@@ -43,7 +43,7 @@ pub fn run(ctx: &Ctx) -> String {
         out.push_str(&t.render());
         out.push_str(&format!("{csv_note}\n\n"));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -54,8 +54,8 @@ mod tests {
     #[test]
     fn low_p_remote_tolerates_better_at_fixed_partitioning() {
         // Paper Table 3 point 1: lower p_remote -> higher tol_network.
-        let lo = partition_sweep(0.2);
-        let hi = partition_sweep(0.4);
+        let lo = partition_sweep(0.2).unwrap();
+        let hi = partition_sweep(0.4).unwrap();
         let pick = |pts: &[crate::figures::fig7::PartitionPoint]| {
             pts.iter()
                 .find(|p| p.product == 4 && p.n_t == 2)
@@ -70,7 +70,7 @@ mod tests {
     fn tolerance_roughly_constant_along_curve_at_low_p() {
         // Paper Table 3 point 2: at p_remote = 0.2, tol_network is fairly
         // constant along n_t * R = 4 (for n_t > 1).
-        let pts = partition_sweep(0.2);
+        let pts = partition_sweep(0.2).unwrap();
         let vals: Vec<f64> = pts
             .iter()
             .filter(|p| p.product == 4 && p.n_t > 1)
@@ -84,6 +84,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("tol_network"));
+        assert!(run(&ctx).unwrap().contains("tol_network"));
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::ctx::Ctx;
 use crate::output::{fnum, Table};
+use lt_core::error::Result;
 use lt_core::prelude::*;
 use lt_core::sweep::parallel_map;
 
@@ -21,7 +22,7 @@ pub struct Table4Row {
 }
 
 /// Solve the constant-work rows for both memory latencies.
-pub fn sweep() -> Vec<Table4Row> {
+pub fn sweep() -> Result<Vec<Table4Row>> {
     let mut cells = Vec::new();
     for &l in &[1.0, 2.0] {
         for &product in &[4usize, 8] {
@@ -35,19 +36,21 @@ pub fn sweep() -> Vec<Table4Row> {
             .with_memory_latency(l)
             .with_n_threads(n_t)
             .with_runlength(r as f64);
-        Table4Row {
+        Ok(Table4Row {
             l,
             n_t,
             r,
-            rep: solve(&cfg).expect("solvable"),
-            tol_memory: tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay).expect("solvable"),
-        }
+            rep: solve(&cfg)?,
+            tol_memory: tolerance_index(&cfg, IdealSpec::ZeroMemoryDelay)?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Generate the table.
-pub fn run(ctx: &Ctx) -> String {
-    let rows = sweep();
+pub fn run(ctx: &Ctx) -> Result<String> {
+    let rows = sweep()?;
     let mut t = Table::new(vec![
         "L",
         "n_t",
@@ -73,11 +76,11 @@ pub fn run(ctx: &Ctx) -> String {
         ]);
     }
     let csv_note = ctx.save_csv("table4", &t);
-    format!(
+    Ok(format!(
         "Thread partitioning vs memory latency tolerance, p_remote = 0.2 \
          (paper Table 4).\n\n{}\n{csv_note}\n",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -94,7 +97,7 @@ mod tests {
     fn doubling_l_raises_l_obs_superlinearly() {
         // Paper: L 1 -> 2 raises L_obs by over 2.5x at the contended
         // partitionings (queueing amplifies the service-time increase).
-        let rows = sweep();
+        let rows = sweep().unwrap();
         let a = at(&rows, 1.0, 8, 1).rep.l_obs;
         let b = at(&rows, 2.0, 8, 1).rep.l_obs;
         assert!(b > 2.3 * a, "L_obs {a} -> {b}");
@@ -104,7 +107,7 @@ mod tests {
     fn long_runlengths_tolerate_memory() {
         // R >> L keeps the processor busy; tol_memory high, and the
         // low-thread/high-R partitioning also reduces contention.
-        let rows = sweep();
+        let rows = sweep().unwrap();
         assert!(at(&rows, 1.0, 2, 4).tol_memory.index > 0.85);
         assert!(at(&rows, 1.0, 2, 4).tol_memory.index > at(&rows, 1.0, 8, 1).tol_memory.index);
     }
@@ -113,7 +116,7 @@ mod tests {
     fn more_threads_raise_local_contention_at_low_p_remote() {
         // Paper Table 4 point 2: n_t has a strong effect on L_obs at low
         // p_remote because most accesses are local.
-        let rows = sweep();
+        let rows = sweep().unwrap();
         let few = at(&rows, 1.0, 2, 2).rep.l_obs;
         let many = at(&rows, 1.0, 8, 1).rep.l_obs;
         assert!(many > 1.5 * few, "L_obs {few} -> {many}");
@@ -122,6 +125,6 @@ mod tests {
     #[test]
     fn report_renders() {
         let ctx = Ctx::quick_temp();
-        assert!(run(&ctx).contains("tol_memory"));
+        assert!(run(&ctx).unwrap().contains("tol_memory"));
     }
 }

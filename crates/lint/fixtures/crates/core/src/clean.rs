@@ -1,0 +1,38 @@
+//! A clean fixture exercising the lexer's tricky paths: none of these
+//! lines may produce a finding.
+
+/// Strings, raw strings, chars, and comments that merely *mention*
+/// forbidden constructs.
+pub fn lexer_torture() -> usize {
+    let s1 = "x.unwrap() and panic!()";
+    let s2 = r#"y.expect("nested \"quotes\"") and f64::NAN"#;
+    let s3 = r##"raw with # marks: partial_cmp(a).unwrap()"##;
+    let b1 = b"bytes with x.unwrap()";
+    let b2 = br#"raw bytes: == 0.0"#;
+    let c1 = 'u';
+    let c2 = '\'';
+    let c3 = ' ';
+    /* block comment: z.unwrap() == 0.0
+       /* nested: panic!("no") */
+       still inside */
+    // line comment: f64::INFINITY
+    //// quadruple-slash comment: todo!()
+    let range = (0..10).len() + (0..=3).count();
+    let tuple = (1.0f64, 2u32);
+    let field = tuple.1 as usize;
+    let method = 7u32.max(2) as usize;
+    s1.len() + s2.len() + s3.len() + b1.len() + b2.len() + (c1 as usize)
+        + (c2 as usize) + (c3 as usize) + range + field + method
+}
+
+/// Lifetimes must not be confused with char literals.
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    let _unrelated: &'static str = "static";
+    x
+}
+
+/// Comparison lookalikes: `<=`, `>=`, and float comparisons that are not
+/// equality are all fine.
+pub fn comparisons(x: f64) -> bool {
+    x <= 1.0 && x >= 0.0 && x < 0.5 && x > 0.25
+}

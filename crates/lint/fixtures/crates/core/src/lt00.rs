@@ -1,0 +1,14 @@
+//! LT00 fixture: malformed suppression directives are themselves findings.
+
+pub fn missing_reason() {
+    // lt-lint: allow(LT01)
+}
+
+pub fn unknown_rule() {
+    // lt-lint: allow(LT99, no such rule)
+}
+
+pub fn unused_but_valid() -> u32 {
+    // lt-lint: allow(LT01, nothing to suppress here: reported as unused)
+    41 + 1
+}

@@ -1,0 +1,37 @@
+//! LT01 fixture: panic paths in non-test library code.
+
+pub fn offenders(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("boom");
+    if a > b {
+        panic!("a > b");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => a + b,
+    }
+}
+
+pub fn non_offenders(x: Option<u32>) -> u32 {
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    let _s = "x.unwrap() inside a string is fine";
+    // x.unwrap() inside a comment is fine
+    a + b
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    x.unwrap() // lt-lint: allow(LT01, fixture: justified suppression)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Option<u32> = None;
+        v.unwrap();
+        panic!("fine");
+    }
+}

@@ -1,0 +1,23 @@
+//! LT02 fixture: `partial_cmp(..).unwrap()` is flagged everywhere,
+//! tests included.
+
+pub fn offender(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn offender_expect(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("nan"));
+}
+
+pub fn non_offender(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn flagged_even_here() {
+        let mut v = vec![1.0, 0.5];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}

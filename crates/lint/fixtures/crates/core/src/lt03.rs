@@ -1,0 +1,32 @@
+//! LT03 fixture: bare float-literal equality in library code.
+
+pub fn offenders(x: f64, y: f64) -> bool {
+    let a = x == 0.0;
+    let b = 1.5 != y;
+    let c = x == -1.0;
+    let d = y == 2f64;
+    a && b && c && d
+}
+
+pub fn non_offenders(x: f64, n: usize) -> bool {
+    let a = x.to_bits() == 0.0f64.to_bits();
+    let b = n == 0;
+    let c = x < 1.0;
+    let d = x >= 0.0;
+    a && b && c && d
+}
+
+pub fn allowed(x: f64) -> bool {
+    // lt-lint: allow(LT03, fixture: exact sentinel compare)
+    x == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compares_are_fine_in_tests() {
+        assert!(super::offenders(0.0, 0.5));
+        let x = 0.25;
+        assert!(x == 0.25);
+    }
+}

@@ -1,0 +1,27 @@
+//! LT04 fixture: non-finite float literals in library code.
+
+pub fn offenders() -> (f64, f64, f64, f32) {
+    let a = f64::NAN;
+    let b = f64::INFINITY;
+    let c = f64::NEG_INFINITY;
+    let d = f32::NAN;
+    (a, b, c, d)
+}
+
+pub fn non_offenders(x: f64) -> bool {
+    let big = f64::MAX;
+    x.is_nan() || x.is_infinite() || x > big
+}
+
+pub fn allowed() -> f64 {
+    f64::INFINITY // lt-lint: allow(LT04, fixture: sentinel seed for a min-fold)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nan_probes_are_fine_in_tests() {
+        assert!(f64::NAN.is_nan());
+        assert!(f64::INFINITY.is_infinite());
+    }
+}

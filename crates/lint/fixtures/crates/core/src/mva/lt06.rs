@@ -1,0 +1,31 @@
+//! LT06 fixture: undocumented `pub fn` in a solver module.
+
+/// Documented: no finding.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+/// Documented despite the attribute in between.
+#[inline]
+pub fn documented_with_attr() {}
+
+pub(crate) fn undocumented_crate_visible() {}
+
+fn private_needs_no_doc() {}
+
+/// Keeps the private fn referenced.
+pub fn call_private() {
+    private_needs_no_doc();
+}
+
+// lt-lint: allow(LT06, fixture: justified undocumented helper)
+pub fn allowed_undocumented() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_in_tests_need_no_docs() {
+        pub fn helper() {}
+        helper();
+    }
+}

@@ -1,0 +1,29 @@
+//! LT05 fixture: raw `.lock()` in the service crate.
+
+use std::sync::Mutex;
+
+pub fn offender(m: &Mutex<u32>) -> u32 {
+    let g = m.lock().unwrap(); // lt-lint: allow(LT01, fixture: LT05 is the rule under test)
+    *g
+}
+
+pub fn non_offender(m: &Mutex<u32>) -> u32 {
+    let g = m.try_lock();
+    g.map(|g| *g).unwrap_or(0) // try_lock is explicit about failure
+}
+
+pub fn allowed(m: &Mutex<u32>) -> bool {
+    // lt-lint: allow(LT05, fixture: justified raw lock)
+    m.lock().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn raw_locks_are_fine_in_tests() {
+        let m = Mutex::new(1u32);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! The file walker: finds workspace `.rs` files, classifies them, runs the
+//! rules, and aggregates a [`Report`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::report::Report;
+use crate::rules::{check_file, classify, FileCtx};
+
+/// Directory names never descended into during a workspace walk.
+const WORKSPACE_SKIP: &[&str] = &["target", ".git", "fixtures", "results", "related"];
+/// Directory names never descended into even under an explicit path.
+const ALWAYS_SKIP: &[&str] = &["target", ".git"];
+
+/// Lint the whole workspace rooted at `root` (skips `target/`, `.git/`,
+/// `fixtures/`, `results/`).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect(root, WORKSPACE_SKIP, &mut files)?;
+    lint_files(root, files)
+}
+
+/// Lint explicit `paths` (files or directories), reporting positions
+/// relative to `root`.
+pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        if abs.is_dir() {
+            collect(&abs, ALWAYS_SKIP, &mut files)?;
+        } else {
+            files.push(abs);
+        }
+    }
+    lint_files(root, files)
+}
+
+fn collect(dir: &Path, skip: &[&str], out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !skip.contains(&name) && !name.starts_with('.') {
+                collect(&path, skip, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn lint_files(root: &Path, files: Vec<PathBuf>) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = fs::read_to_string(path)?;
+        let (kind, crate_name) = classify(&rel);
+        let ctx = FileCtx {
+            rel_path: &rel,
+            kind,
+            crate_name,
+        };
+        let fr = check_file(&ctx, &src);
+        report.findings.extend(fr.findings);
+        report.allows.extend(fr.allows);
+        report.unused_allows.extend(fr.unused_allows);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Workspace-relative path with forward slashes (falls back to the full
+/// path when `path` is outside `root`).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn this_workspace() -> PathBuf {
+        // crates/lint -> crates -> workspace root
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(Path::to_path_buf)
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn finds_workspace_root_from_crate_dir() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        assert_eq!(root, Some(this_workspace()));
+    }
+
+    #[test]
+    fn workspace_walk_skips_fixtures() {
+        let report = lint_workspace(&this_workspace()).expect("walk");
+        assert!(report.files_scanned > 50, "found {}", report.files_scanned);
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| !f.file.contains("fixtures/")));
+    }
+
+    #[test]
+    fn explicit_paths_reach_fixtures() {
+        let root = this_workspace();
+        let report = lint_paths(&root, &[PathBuf::from("crates/lint/fixtures")]).expect("walk");
+        assert!(
+            !report.findings.is_empty(),
+            "fixtures must produce findings"
+        );
+    }
+}

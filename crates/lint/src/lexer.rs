@@ -1,0 +1,591 @@
+//! A lightweight Rust lexer: just enough to tell code from strings,
+//! comments, and character literals, so the rule engine never matches
+//! inside a `"unwrap()"` string or a `// unwrap()` comment.
+//!
+//! The lexer understands line and (nested) block comments, doc comments,
+//! string/byte-string/raw-string/char/byte literals, lifetimes vs char
+//! literals, integer vs float literals (including exponents and `f64`
+//! suffixes), identifiers, and a small set of multi-character operators
+//! (`==`, `!=`, `<=`, `>=`, `->`, `=>`, `::`, `..`). Everything else is a
+//! single-character punct. It never fails: unknown bytes become puncts and
+//! unterminated literals run to end of file, which is the right degrade for
+//! a lint that must not panic on the code it is judging.
+
+/// The class of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`, ...).
+    Ident,
+    /// Integer literal (`0`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`0.0`, `1e-9`, `2f64`, `1.`).
+    Float,
+    /// String literal of any flavor (`"s"`, `r#"s"#`, `b"s"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Line comment; `doc` distinguishes `///` and `//!` forms.
+    LineComment {
+        /// True for `///` and `//!` doc comments (but not `////`).
+        doc: bool,
+    },
+    /// Block comment; `doc` distinguishes `/**` and `/*!` forms.
+    BlockComment {
+        /// True for `/**` and `/*!` doc comments (but not `/***` or `/**/`).
+        doc: bool,
+    },
+    /// Operator or delimiter; multi-char for the combined set listed in the
+    /// module docs, single-char otherwise.
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether the token is a comment of either flavor.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether the token is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub fn is_doc_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+        )
+    }
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text of the token (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// Lex `src` into a token vector, comments included.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        // Skip a shebang line so `#!/usr/bin/env ...` never parses as `#![`.
+        if self.src.starts_with("#!") && !self.src.starts_with("#![") {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (line, col, start) = (self.line, self.col, self.pos);
+            if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col, start);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col, start);
+            } else if c == '"' {
+                self.string(line, col, start);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col, start);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col, start);
+            } else if c.is_ascii_digit() {
+                self.number(line, col, start);
+            } else {
+                self.punct(line, col, start);
+            }
+        }
+        self.out
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    fn emit(&mut self, kind: TokenKind, line: u32, col: u32, start: usize) {
+        let text = self.text_from(start);
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32, start: usize) {
+        self.bump();
+        self.bump();
+        // `///x` and `//!x` are doc comments; `////` is a plain comment.
+        let doc = match self.peek(0) {
+            Some('/') => self.peek(1) != Some('/'),
+            Some('!') => true,
+            _ => false,
+        };
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.emit(TokenKind::LineComment { doc }, line, col, start);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32, start: usize) {
+        self.bump();
+        self.bump();
+        // `/**x` and `/*!` are doc; `/**/` (empty) and `/***` are not.
+        let doc = match self.peek(0) {
+            Some('*') => !matches!(self.peek(1), Some('*') | Some('/')),
+            Some('!') => true,
+            _ => false,
+        };
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.emit(TokenKind::BlockComment { doc }, line, col, start);
+    }
+
+    /// Ordinary (escaped) string body, opening quote at current position.
+    fn string(&mut self, line: u32, col: u32, start: usize) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.emit(TokenKind::Str, line, col, start);
+    }
+
+    /// Raw string with `hashes` `#` marks already consumed up to the opening
+    /// quote, which is at the current position.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening "
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32, start: usize) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape, then to closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.emit(TokenKind::Char, line, col, start);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char; `'a`, `'static` are lifetimes.
+                let mut len = 1;
+                while self.peek(len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(len) == Some('\'') {
+                    for _ in 0..=len {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Char, line, col, start);
+                } else {
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Lifetime, line, col, start);
+                }
+            }
+            Some(_) => {
+                // Non-identifier char literal like `' '` or `'$'`.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.emit(TokenKind::Char, line, col, start);
+            }
+            None => self.emit(TokenKind::Punct, line, col, start),
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32, start: usize) {
+        // Raw/byte literal prefixes: r"", r#""#, b"", br#""#, b''.
+        let c = self.peek(0);
+        let d = self.peek(1);
+        let e = self.peek(2);
+        match (c, d, e) {
+            (Some('r'), Some('"'), _) | (Some('r'), Some('#'), _) => {
+                if let Some(h) = self.raw_prefix_len(1) {
+                    self.bump(); // r
+                    for _ in 0..h {
+                        self.bump();
+                    }
+                    self.raw_string_body(h);
+                    self.emit(TokenKind::Str, line, col, start);
+                    return;
+                }
+            }
+            (Some('b'), Some('r'), Some('"')) | (Some('b'), Some('r'), Some('#')) => {
+                if let Some(h) = self.raw_prefix_len(2) {
+                    self.bump(); // b
+                    self.bump(); // r
+                    for _ in 0..h {
+                        self.bump();
+                    }
+                    self.raw_string_body(h);
+                    self.emit(TokenKind::Str, line, col, start);
+                    return;
+                }
+            }
+            (Some('b'), Some('"'), _) => {
+                self.bump(); // b
+                self.string(line, col, start);
+                return;
+            }
+            (Some('b'), Some('\''), _) => {
+                self.bump(); // b
+                self.char_or_lifetime(line, col, start);
+                return;
+            }
+            _ => {}
+        }
+        // Plain identifier (covers `r#raw_ident` via the `#` punct path:
+        // `r` lexes as ident only when not a raw-string prefix, so handle
+        // `r#ident` here explicitly).
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        if self.text_from(start) == "r" && self.peek(0) == Some('#') {
+            if let Some(c2) = self.peek(1) {
+                if is_ident_start(c2) {
+                    self.bump(); // #
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.emit(TokenKind::Ident, line, col, start);
+    }
+
+    /// If the characters at `offset` form `#* "` (a raw-string opener),
+    /// return the number of hashes; otherwise `None`.
+    fn raw_prefix_len(&self, offset: usize) -> Option<usize> {
+        let mut h = 0;
+        while self.peek(offset + h) == Some('#') {
+            h += 1;
+        }
+        (self.peek(offset + h) == Some('"')).then_some(h)
+    }
+
+    fn number(&mut self, line: u32, col: u32, start: usize) {
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            // Radix literal: digits only, no dot/exponent handling.
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+        } else {
+            self.digits();
+            // A dot makes a float only when not `..` (range) and not a
+            // method call / tuple field (`1.max(2)`, `t.0`).
+            if self.peek(0) == Some('.') {
+                match self.peek(1) {
+                    Some(c2) if c2.is_ascii_digit() => {
+                        float = true;
+                        self.bump();
+                        self.digits();
+                    }
+                    Some('.') => {}
+                    Some(c2) if is_ident_start(c2) => {}
+                    _ => {
+                        float = true;
+                        self.bump();
+                    }
+                }
+            }
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let sign = matches!(self.peek(1), Some('+') | Some('-'));
+                let digit_at = if sign { 2 } else { 1 };
+                if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                    float = true;
+                    self.bump();
+                    if sign {
+                        self.bump();
+                    }
+                    self.digits();
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, arbitrary in macros).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix = self.text_from(suffix_start);
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.emit(kind, line, col, start);
+    }
+
+    fn digits(&mut self) {
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+    }
+
+    fn punct(&mut self, line: u32, col: u32, start: usize) {
+        let c = self.bump().unwrap_or(' ');
+        let pair = self.peek(0).map(|d| (c, d));
+        let combined = matches!(
+            pair,
+            Some(('=', '=') | ('!', '=') | ('<', '=') | ('>', '=') | ('-', '>') | ('=', '>'))
+                | Some((':', ':') | ('.', '.'))
+        );
+        if combined {
+            self.bump();
+            // `..=` and `...` fold into the `..` token.
+            if pair == Some(('.', '.')) && matches!(self.peek(0), Some('=') | Some('.')) {
+                self.bump();
+            }
+        }
+        self.emit(TokenKind::Punct, line, col, start);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() -> u8 {}");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "main".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, "->".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "x.unwrap()"; s"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        // The only idents are let / s / s.
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .collect();
+        assert_eq!(idents.len(), 3);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"a "quoted" unwrap()"#; done"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quoted")));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("done"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"let a = b"x"; let b = br##"y"##; end"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("end"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) {} let q = '\\''; let s = ' ';");
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        assert_eq!(chars, 3);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].0.is_comment());
+        assert_eq!(toks[1].1, "fn");
+    }
+
+    #[test]
+    fn doc_comment_detection() {
+        assert!(kinds("/// doc")[0].0.is_doc_comment());
+        assert!(kinds("//! doc")[0].0.is_doc_comment());
+        assert!(kinds("/** doc */")[0].0.is_doc_comment());
+        assert!(kinds("/*! doc */")[0].0.is_doc_comment());
+        assert!(!kinds("// plain")[0].0.is_doc_comment());
+        assert!(!kinds("//// rule")[0].0.is_doc_comment());
+        assert!(!kinds("/**/")[0].0.is_doc_comment());
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = kinds("0 1_000 0xff 1.5 0.0 1e-9 2f64 1u32 3.5e2 9.");
+        let got: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        use TokenKind::{Float, Int};
+        assert_eq!(
+            got,
+            vec![Int, Int, Int, Float, Float, Float, Float, Int, Float, Float]
+        );
+    }
+
+    #[test]
+    fn ranges_and_tuple_fields_are_not_floats() {
+        let toks = kinds("0..10 t.0 1.max(2) 0..=3");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Float));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "..="));
+    }
+
+    #[test]
+    fn combined_operators() {
+        let toks = kinds("a == b != c <= d >= e => f :: g");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "<=", ">=", "=>", "::"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"never closed");
+        lex("let s = r#\"never closed");
+        lex("/* never closed");
+        lex("'");
+    }
+}

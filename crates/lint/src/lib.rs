@@ -1,0 +1,48 @@
+//! # lt-lint — workspace-native static analysis for numeric safety
+//!
+//! The latency-tolerance workspace computes numbers it then trusts:
+//! utilizations, tolerance indices, saturation rates. PR 1 removed every
+//! NaN/Inf path and panic from the analytical core by hand; this crate
+//! keeps them out mechanically. It is a lightweight Rust lexer plus a rule
+//! engine that walks every `.rs` file in the workspace and reports
+//! structured findings (`file:line:col`, rule id, snippet, suggestion) as
+//! a human table or machine-readable JSON.
+//!
+//! ## Rules
+//!
+//! | id | name | scope |
+//! |------|-----------------------|--------------------------------------|
+//! | LT00 | malformed-directive | everywhere |
+//! | LT01 | no-panic-paths | non-test library code |
+//! | LT02 | total-cmp | everywhere, tests included |
+//! | LT03 | no-bare-float-eq | non-test library code |
+//! | LT04 | no-nonfinite-literals | non-test library code |
+//! | LT05 | poison-safe-locks | all of `crates/service` |
+//! | LT06 | documented-solvers | `lt-core` solver modules |
+//!
+//! ## Suppressions
+//!
+//! A finding is suppressed by an explicit, justified comment — trailing on
+//! the offending line or alone on the line above it:
+//!
+//! ```text
+//! let t = f64::INFINITY; // lt-lint: allow(LT04, sentinel seed for the min-fold below)
+//! ```
+//!
+//! Suppressions are counted and printed; a directive that fails to parse,
+//! names an unknown rule, or omits the reason is itself a finding (LT00),
+//! and unused directives are reported so they cannot rot in place.
+//!
+//! The crate is std-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scope;
+
+pub use engine::{find_workspace_root, lint_paths, lint_workspace};
+pub use report::{Allow, Finding, Report};
+pub use rules::{check_file, classify, FileCtx, FileKind, RULES};

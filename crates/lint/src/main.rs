@@ -1,0 +1,100 @@
+//! `lt-lint` CLI: lint the workspace (or explicit paths) and print findings
+//! as a human table or JSON.
+//!
+//! ```text
+//! lt-lint --workspace --deny          # CI mode: exit 1 on any finding
+//! lt-lint crates/core/src             # lint a subtree
+//! lt-lint --json --workspace          # machine-readable output
+//! lt-lint --list-rules                # print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lt_lint::{find_workspace_root, lint_paths, lint_workspace, RULES};
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut deny = false;
+    let mut json = false;
+    let mut quiet = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{}  {:<22} {}", r.id, r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lt-lint [--workspace] [--deny] [--json] [--quiet] [--list-rules] [PATH...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("lt-lint: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lt-lint: cannot determine current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match find_workspace_root(&cwd) {
+        Some(r) => r,
+        None => {
+            eprintln!("lt-lint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if workspace && !paths.is_empty() {
+        eprintln!("lt-lint: pass either --workspace or explicit paths, not both");
+        return ExitCode::from(2);
+    }
+    if !workspace && paths.is_empty() {
+        workspace = true;
+    }
+
+    let report = if workspace {
+        lint_workspace(&root)
+    } else {
+        lint_paths(&root, &paths)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else if !quiet || !report.findings.is_empty() {
+        print!("{}", report.to_table());
+    }
+
+    if deny && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,254 @@
+//! Findings, suppression records, and the two output formats: a
+//! machine-readable JSON document and a human-readable table.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id (`LT01` ... `LT06`, or `LT00` for malformed directives).
+    pub rule: &'static str,
+    /// The trimmed source line (capped), for context.
+    pub snippet: String,
+    /// What to do instead.
+    pub suggestion: String,
+}
+
+/// One `// lt-lint: allow(LTxx, reason)` suppression that matched a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Workspace-relative path of the file carrying the directive.
+    pub file: String,
+    /// 1-based line of the suppressed finding.
+    pub line: u32,
+    /// Rule id being suppressed.
+    pub rule: String,
+    /// The justification given in the directive.
+    pub reason: String,
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned, in walk order.
+    pub files_scanned: usize,
+    /// All unsuppressed findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// All suppressions that matched a finding, sorted like findings.
+    pub allows: Vec<Allow>,
+    /// Directives that never matched a finding (stale suppressions).
+    pub unused_allows: Vec<Allow>,
+}
+
+impl Report {
+    /// Sort findings and allows into the canonical (file, line, col, rule)
+    /// order so output and goldens are deterministic.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        let key = |a: &Allow| (a.file.clone(), a.line, a.rule.clone());
+        self.allows.sort_by_key(key);
+        self.unused_allows.sort_by_key(key);
+    }
+
+    /// Per-rule finding counts, rule id → count.
+    pub fn counts_by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Render the machine-readable JSON document (stable field order,
+    /// trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"snippet\": {}, \"suggestion\": {}}}",
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(f.rule),
+                json_str(&f.snippet),
+                json_str(&f.suggestion)
+            );
+        }
+        s.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+                json_str(&a.file),
+                a.line,
+                json_str(&a.rule),
+                json_str(&a.reason)
+            );
+        }
+        s.push_str(if self.allows.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"summary\": {");
+        let _ = write!(
+            s,
+            "\"findings\": {}, \"allows\": {}, \"unused_allows\": {}, \"by_rule\": {{",
+            self.findings.len(),
+            self.allows.len(),
+            self.unused_allows.len()
+        );
+        for (i, (rule, n)) in self.counts_by_rule().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", json_str(rule), n);
+        }
+        s.push_str("}}\n}\n");
+        s
+    }
+
+    /// Render the human-readable table plus summary.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                s,
+                "{}:{}:{}  {}  {}",
+                f.file, f.line, f.col, f.rule, f.snippet
+            );
+            let _ = writeln!(s, "        fix: {}", f.suggestion);
+        }
+        if !self.findings.is_empty() {
+            s.push('\n');
+        }
+        let by_rule = self.counts_by_rule();
+        if !by_rule.is_empty() {
+            let ordered: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+            let _ = writeln!(s, "findings by rule: {}", ordered.join(", "));
+        }
+        let _ = writeln!(
+            s,
+            "{} file(s) scanned, {} finding(s), {} suppression(s) in effect",
+            self.files_scanned,
+            self.findings.len(),
+            self.allows.len()
+        );
+        for a in &self.allows {
+            let _ = writeln!(
+                s,
+                "  allow {} at {}:{} — {}",
+                a.rule, a.file, a.line, a.reason
+            );
+        }
+        for a in &self.unused_allows {
+            let _ = writeln!(
+                s,
+                "  warning: unused allow {} at {}:{} — {}",
+                a.rule, a.file, a.line, a.reason
+            );
+        }
+        s
+    }
+}
+
+/// Escape a string for JSON output (control characters, quotes, backslash).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 2,
+            findings: vec![Finding {
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                col: 7,
+                rule: "LT01",
+                snippet: "x.unwrap()".into(),
+                suggestion: "return LtError instead of panicking".into(),
+            }],
+            allows: vec![Allow {
+                file: "crates/core/src/y.rs".into(),
+                line: 9,
+                rule: "LT04".into(),
+                reason: "sentinel seed for a min-fold".into(),
+            }],
+            unused_allows: vec![],
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\n  \"version\": 1,"));
+        assert!(j.contains("\"rule\": \"LT01\""));
+        assert!(j.contains("\"by_rule\": {\"LT01\": 1}"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn table_mentions_counts_and_allows() {
+        let t = sample().to_table();
+        assert!(t.contains("LT01"), "{t}");
+        assert!(t.contains("1 suppression(s) in effect"), "{t}");
+        assert!(t.contains("sentinel seed"), "{t}");
+    }
+
+    #[test]
+    fn empty_report_json_is_valid_shape() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"findings\": [],"));
+        assert!(j.contains("\"allows\": [],"));
+    }
+}

@@ -1,0 +1,714 @@
+//! The rule catalog (LT01–LT06) and the per-file checker.
+//!
+//! Rules are token-pattern matchers over the scoped token stream produced
+//! by [`crate::lexer`] + [`crate::scope`]. Each rule knows which files it
+//! applies to (library vs test code, which crate) so the engine stays a
+//! dumb walker. Suppressions are explicit
+//! `// lt-lint: allow(LTxx, reason)` comments: trailing on the offending
+//! line, or alone on the line above it. A malformed directive is itself a
+//! finding (`LT00`) so suppressions can never silently rot.
+
+use crate::lexer::TokenKind;
+use crate::report::{Allow, Finding};
+use crate::scope::{annotate, ScopedToken};
+
+/// How a file participates in the build, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under `src/`, not under `src/bin/`: the code the rules guard.
+    Library,
+    /// Under `src/bin/`: an executable entry point.
+    Bin,
+    /// Under `tests/` or `benches/`.
+    Test,
+    /// Under `examples/`.
+    Example,
+    /// Anything else (build scripts, stray files).
+    Other,
+}
+
+/// Per-file context the rules dispatch on.
+#[derive(Debug, Clone)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// Crate name (`core`, `service`, ...) — the path segment after the
+    /// last `crates/` component, `None` for the root package.
+    pub crate_name: Option<&'a str>,
+}
+
+/// Static description of one rule, for `--list-rules` and the docs.
+pub struct RuleInfo {
+    /// Stable id (`LT01` ...).
+    pub id: &'static str,
+    /// Short name.
+    pub name: &'static str,
+    /// What the rule forbids and where.
+    pub summary: &'static str,
+}
+
+/// The rule catalog, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "LT00",
+        name: "malformed-directive",
+        summary: "an `lt-lint:` comment that does not parse as `allow(LTxx, reason)`; \
+                  suppressions must carry a rule id and a justification",
+    },
+    RuleInfo {
+        id: "LT01",
+        name: "no-panic-paths",
+        summary: "no `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / \
+                  `unimplemented!` in non-test library code; return a structured `LtError` instead",
+    },
+    RuleInfo {
+        id: "LT02",
+        name: "total-cmp",
+        summary: "no `partial_cmp(..).unwrap()` anywhere; use `f64::total_cmp`, which is total \
+                  over NaN and never panics",
+    },
+    RuleInfo {
+        id: "LT03",
+        name: "no-bare-float-eq",
+        summary: "no bare `==` / `!=` against a float literal in non-test library code; use the \
+                  bit-pattern helpers (`exactly_zero`, `to_bits`, the `wire::canonical_solve_key` \
+                  convention) or an epsilon compare",
+    },
+    RuleInfo {
+        id: "LT04",
+        name: "no-nonfinite-literals",
+        summary: "no `f64::NAN` / `INFINITY` / `NEG_INFINITY` literals in non-test library code \
+                  outside justified guards; prefer `Option`, `LtError::DegenerateModel`, or an \
+                  `lt-lint: allow` with the sentinel's meaning",
+    },
+    RuleInfo {
+        id: "LT05",
+        name: "poison-safe-locks",
+        summary: "in `crates/service`, `.lock()` must go through the poison-recovering helper \
+                  (`sync::lock_ok`); a poisoned mutex must degrade, not cascade panics through \
+                  the worker pool",
+    },
+    RuleInfo {
+        id: "LT06",
+        name: "documented-solvers",
+        summary: "every `pub fn` in the lt-core solver modules (mva/*, analysis, bounds, \
+                  bottleneck, tolerance) carries a `///` doc comment",
+    },
+];
+
+/// Suggestion text attached to each finding of a rule.
+fn suggestion_for(rule: &str) -> &'static str {
+    match rule {
+        "LT00" => "write `// lt-lint: allow(LTxx, reason)` with a rule id and a non-empty reason",
+        "LT01" => {
+            "propagate a structured LtError (or use unwrap_or/ok_or_else); panics are fatal \
+                   in a latencyd worker"
+        }
+        "LT02" => "use f64::total_cmp — total over NaN, never panics",
+        "LT03" => {
+            "compare bit patterns (exactly_zero / to_bits, as in wire::canonical_solve_key) \
+                   or use an epsilon"
+        }
+        "LT04" => {
+            "return LtError::DegenerateModel or use Option; if the sentinel is intentional, \
+                   add `// lt-lint: allow(LT04, why)`"
+        }
+        "LT05" => {
+            "route the lock through sync::lock_ok, which recovers the guard from a \
+                   poisoned mutex"
+        }
+        "LT06" => "add a /// doc comment stating the solver contract (inputs, errors, units)",
+        _ => "",
+    }
+}
+
+/// A parsed suppression directive.
+struct Directive {
+    rule: String,
+    reason: String,
+    /// Line the directive suppresses findings on.
+    target_line: u32,
+    /// Line the comment itself sits on (for reporting).
+    comment_line: u32,
+    used: bool,
+}
+
+/// Result of checking one file.
+pub struct FileReport {
+    /// Unsuppressed findings.
+    pub findings: Vec<Finding>,
+    /// Suppressions that matched at least one finding.
+    pub allows: Vec<Allow>,
+    /// Suppressions that matched nothing.
+    pub unused_allows: Vec<Allow>,
+}
+
+/// Check one file's source against every applicable rule.
+pub fn check_file(ctx: &FileCtx<'_>, src: &str) -> FileReport {
+    let toks = annotate(crate::lexer::lex(src));
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        let full = lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or_default();
+        let mut s: String = full.chars().take(100).collect();
+        if full.chars().count() > 100 {
+            s.push('…');
+        }
+        s
+    };
+
+    let mut raw_findings: Vec<Finding> = Vec::new();
+    let mut push = |rule: &'static str, line: u32, col: u32| {
+        raw_findings.push(Finding {
+            file: ctx.rel_path.to_string(),
+            line,
+            col,
+            rule,
+            snippet: snippet(line),
+            suggestion: suggestion_for(rule).to_string(),
+        });
+    };
+
+    let mut directives = parse_directives(&toks, &mut push);
+
+    // Indices of non-comment tokens, the stream the pattern rules see.
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !toks[i].tok.kind.is_comment())
+        .collect();
+    let at = |ci: usize| -> Option<&ScopedToken> { code.get(ci).map(|&i| &toks[i]) };
+    let is_ident = |ci: usize, text: &str| {
+        at(ci).is_some_and(|t| t.tok.kind == TokenKind::Ident && t.tok.text == text)
+    };
+    let is_punct = |ci: usize, text: &str| {
+        at(ci).is_some_and(|t| t.tok.kind == TokenKind::Punct && t.tok.text == text)
+    };
+
+    let library = ctx.kind == FileKind::Library;
+    let in_service = ctx.crate_name == Some("service");
+    let solver_module = ctx.crate_name == Some("core")
+        && (ctx.rel_path.contains("/mva/")
+            || ["analysis.rs", "bounds.rs", "bottleneck.rs", "tolerance.rs"]
+                .iter()
+                .any(|f| ctx.rel_path.ends_with(f)));
+
+    for (ci, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        let (line, col) = (t.tok.line, t.tok.col);
+        let in_test = t.in_test;
+
+        // LT01: panic paths in non-test library code.
+        if library && !in_test && t.tok.kind == TokenKind::Ident {
+            let name = t.tok.text.as_str();
+            let method_panic = matches!(name, "unwrap" | "expect")
+                && ci > 0
+                && is_punct(ci - 1, ".")
+                && is_punct(ci + 1, "(");
+            let macro_panic = matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                && is_punct(ci + 1, "!");
+            if method_panic || macro_panic {
+                push("LT01", line, col);
+            }
+        }
+
+        // LT02: partial_cmp(..).unwrap() — everywhere, tests included.
+        if t.tok.kind == TokenKind::Ident && t.tok.text == "partial_cmp" && is_punct(ci + 1, "(") {
+            let mut depth = 0usize;
+            let mut cj = ci + 1;
+            while let Some(n) = at(cj) {
+                if n.tok.kind == TokenKind::Punct {
+                    match n.tok.text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                cj += 1;
+            }
+            if is_punct(cj + 1, ".") && (is_ident(cj + 2, "unwrap") || is_ident(cj + 2, "expect")) {
+                push("LT02", line, col);
+            }
+        }
+
+        // LT03: bare float-literal equality in non-test library code.
+        if library
+            && !in_test
+            && t.tok.kind == TokenKind::Punct
+            && (t.tok.text == "==" || t.tok.text == "!=")
+        {
+            // A literal immediately followed by `.` is a method call on the
+            // literal (`0.0f64.to_bits()`), not a bare compare.
+            let bare_float_at = |cj: usize| {
+                at(cj).is_some_and(|n| n.tok.kind == TokenKind::Float) && !is_punct(cj + 1, ".")
+            };
+            let prev_float = ci > 0 && at(ci - 1).is_some_and(|p| p.tok.kind == TokenKind::Float);
+            let next_float =
+                bare_float_at(ci + 1) || (is_punct(ci + 1, "-") && bare_float_at(ci + 2));
+            if prev_float || next_float {
+                push("LT03", line, col);
+            }
+        }
+
+        // LT04: non-finite f64/f32 literals in non-test library code.
+        if library
+            && !in_test
+            && t.tok.kind == TokenKind::Ident
+            && (t.tok.text == "f64" || t.tok.text == "f32")
+            && is_punct(ci + 1, "::")
+            && at(ci + 2).is_some_and(|n| {
+                n.tok.kind == TokenKind::Ident
+                    && matches!(n.tok.text.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY")
+            })
+        {
+            push("LT04", line, col);
+        }
+
+        // LT05: raw `.lock()` in crates/service outside the sync helper.
+        if in_service
+            && !in_test
+            && matches!(ctx.kind, FileKind::Library | FileKind::Bin)
+            && t.tok.kind == TokenKind::Ident
+            && t.tok.text == "lock"
+            && ci > 0
+            && is_punct(ci - 1, ".")
+            && is_punct(ci + 1, "(")
+        {
+            push("LT05", line, col);
+        }
+
+        // LT06: undocumented pub fn in lt-core solver modules.
+        if solver_module
+            && library
+            && !in_test
+            && t.tok.kind == TokenKind::Ident
+            && t.tok.text == "pub"
+        {
+            let mut cj = ci + 1;
+            // pub(crate) / pub(super) / pub(in path) visibility group.
+            if is_punct(cj, "(") {
+                let mut depth = 0usize;
+                while let Some(n) = at(cj) {
+                    if n.tok.kind == TokenKind::Punct {
+                        match n.tok.text.as_str() {
+                            "(" => depth += 1,
+                            ")" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    cj += 1;
+                }
+                cj += 1;
+            }
+            while at(cj).is_some_and(|n| {
+                n.tok.kind == TokenKind::Ident
+                    && matches!(n.tok.text.as_str(), "const" | "async" | "unsafe")
+            }) {
+                cj += 1;
+            }
+            if is_ident(cj, "fn") && !has_doc_comment(&toks, code[ci]) {
+                push("LT06", line, col);
+            }
+        }
+    }
+
+    // Apply suppressions.
+    let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    for f in raw_findings {
+        let mut suppressed = false;
+        if f.rule != "LT00" {
+            for d in directives.iter_mut() {
+                if d.target_line == f.line && d.rule == f.rule {
+                    d.used = true;
+                    suppressed = true;
+                    allows.push(Allow {
+                        file: f.file.clone(),
+                        line: f.line,
+                        rule: d.rule.clone(),
+                        reason: d.reason.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    let unused_allows = directives
+        .into_iter()
+        .filter(|d| !d.used)
+        .map(|d| Allow {
+            file: ctx.rel_path.to_string(),
+            line: d.comment_line,
+            rule: d.rule,
+            reason: d.reason,
+        })
+        .collect();
+
+    FileReport {
+        findings,
+        allows,
+        unused_allows,
+    }
+}
+
+/// Walk backwards from raw token index `i` (a `pub` keyword) over
+/// attributes and plain comments; true if the nearest prior token is a doc
+/// comment.
+fn has_doc_comment(toks: &[ScopedToken], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.tok.kind {
+            k if k.is_doc_comment() => return true,
+            k if k.is_comment() => continue,
+            TokenKind::Punct if t.tok.text == "]" => {
+                // Skip one attribute group `#[ ... ]` (brackets nest).
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if toks[j].tok.kind == TokenKind::Punct {
+                        match toks[j].tok.text.as_str() {
+                            "]" => depth += 1,
+                            "[" => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                }
+                // Consume the leading `#` (and `!` for inner attributes).
+                while j > 0
+                    && toks[j - 1].tok.kind == TokenKind::Punct
+                    && matches!(toks[j - 1].tok.text.as_str(), "#" | "!")
+                {
+                    j -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Extract `lt-lint:` directives from comment tokens. Malformed ones are
+/// reported through `push` as LT00 findings.
+fn parse_directives(
+    toks: &[ScopedToken],
+    push: &mut dyn FnMut(&'static str, u32, u32),
+) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        // Doc comments never carry directives — they may legitimately
+        // *describe* the allow-directive syntax.
+        if !t.tok.kind.is_comment()
+            || t.tok.kind.is_doc_comment()
+            || !t.tok.text.contains("lt-lint")
+        {
+            continue;
+        }
+        let text = &t.tok.text;
+        let Some(pos) = text.find("lt-lint:") else {
+            // Mentions lt-lint without the directive marker (e.g. prose
+            // about the tool) — not a directive.
+            continue;
+        };
+        let rest = text[pos + "lt-lint:".len()..].trim_start();
+        if !rest.starts_with("allow") {
+            // Prose that merely mentions the tool, not a directive attempt.
+            continue;
+        }
+        let parsed = parse_allow(rest);
+        match parsed {
+            Some((rule, reason)) => {
+                // Trailing comments suppress their own line; a standalone
+                // comment suppresses the next line.
+                let standalone = i == 0 || toks[i - 1].tok.line < t.tok.line;
+                let target_line = if standalone {
+                    t.tok.line + 1
+                } else {
+                    t.tok.line
+                };
+                out.push(Directive {
+                    rule,
+                    reason,
+                    target_line,
+                    comment_line: t.tok.line,
+                    used: false,
+                });
+            }
+            None => push("LT00", t.tok.line, t.tok.col),
+        }
+    }
+    out
+}
+
+/// Parse `allow(LTxx, reason)` — returns the rule id and non-empty reason.
+fn parse_allow(s: &str) -> Option<(String, String)> {
+    let s = s.strip_prefix("allow(")?;
+    let close = s.rfind(')')?;
+    let body = &s[..close];
+    let (rule, reason) = body.split_once(',')?;
+    let rule = rule.trim();
+    let reason = reason.trim();
+    let known = RULES.iter().any(|r| r.id == rule && r.id != "LT00");
+    if !known || reason.is_empty() {
+        return None;
+    }
+    Some((rule.to_string(), reason.to_string()))
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> (FileKind, Option<&str>) {
+    let comps: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = comps
+        .iter()
+        .rposition(|c| *c == "crates")
+        .and_then(|i| comps.get(i + 1))
+        .copied();
+    let kind = if comps.iter().any(|c| *c == "tests" || *c == "benches") {
+        FileKind::Test
+    } else if comps.contains(&"examples") {
+        FileKind::Example
+    } else if let Some(i) = comps.iter().rposition(|c| *c == "src") {
+        if comps.get(i + 1) == Some(&"bin") {
+            FileKind::Bin
+        } else {
+            FileKind::Library
+        }
+    } else {
+        FileKind::Other
+    };
+    (kind, crate_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx() -> FileCtx<'static> {
+        FileCtx {
+            rel_path: "crates/core/src/x.rs",
+            kind: FileKind::Library,
+            crate_name: Some("core"),
+        }
+    }
+
+    fn run(src: &str) -> Vec<(&'static str, u32)> {
+        check_file(&lib_ctx(), src)
+            .findings
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn lt01_flags_panic_paths_in_library_code() {
+        let src = "fn f() {\n  x.unwrap();\n  y.expect(\"m\");\n  panic!(\"n\");\n  unreachable!();\n  todo!();\n}\n";
+        let got = run(src);
+        assert_eq!(
+            got,
+            vec![
+                ("LT01", 2),
+                ("LT01", 3),
+                ("LT01", 4),
+                ("LT01", 5),
+                ("LT01", 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn lt01_ignores_tests_strings_comments_and_lookalikes() {
+        let src = r#"
+fn f() {
+    let _ = x.unwrap_or(3);
+    let _ = x.unwrap_or_else(|| 4);
+    let s = "x.unwrap()";
+    // x.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); panic!("fine in tests"); }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn lt02_fires_even_in_tests_and_suggests_total_cmp() {
+        let src = "mod tests {\n fn t() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n}\n";
+        let r = check_file(&lib_ctx(), src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "LT02");
+        assert!(r.findings[0].suggestion.contains("total_cmp"));
+    }
+
+    #[test]
+    fn lt03_flags_bare_float_equality() {
+        let src = "fn f() {\n  if x == 0.0 {}\n  if 1.5 != y {}\n  if x == -1.0 {}\n  if n == 0 {}\n  if b == len {}\n  if x.to_bits() == 0.0f64.to_bits() {}\n}\n";
+        assert_eq!(run(src), vec![("LT03", 2), ("LT03", 3), ("LT03", 4)]);
+    }
+
+    #[test]
+    fn lt04_flags_nonfinite_literals() {
+        let src = "fn f() {\n  let a = f64::NAN;\n  let b = f64::INFINITY;\n  let c = f64::NEG_INFINITY;\n  let d = f32::NAN;\n  let ok = f64::MAX;\n}\n";
+        assert_eq!(
+            run(src),
+            vec![("LT04", 2), ("LT04", 3), ("LT04", 4), ("LT04", 5)]
+        );
+    }
+
+    #[test]
+    fn lt05_only_in_service_crate_outside_sync() {
+        let src = "fn f() { let g = m.lock(); }\n";
+        assert!(run(src).is_empty(), "not the service crate");
+        let ctx = FileCtx {
+            rel_path: "crates/service/src/pool.rs",
+            kind: FileKind::Library,
+            crate_name: Some("service"),
+        };
+        let r = check_file(&ctx, src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "LT05");
+        // The helper itself carries the one justified allow.
+        let helper = "pub fn lock_ok(m: &M) -> G {\n  m.lock().unwrap_or_else(p) // lt-lint: allow(LT05, the poison-recovering helper itself)\n}\n";
+        let sync_ctx = FileCtx {
+            rel_path: "crates/service/src/sync.rs",
+            ..ctx
+        };
+        let r = check_file(&sync_ctx, helper);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allows.len(), 1);
+    }
+
+    #[test]
+    fn lt06_requires_docs_on_solver_pub_fns() {
+        let ctx = FileCtx {
+            rel_path: "crates/core/src/mva/amva.rs",
+            kind: FileKind::Library,
+            crate_name: Some("core"),
+        };
+        let src = r#"
+/// Documented.
+pub fn good() {}
+
+pub fn bad() {}
+
+/// Documented despite the attribute.
+#[inline]
+pub fn good_attr() {}
+
+pub(crate) fn bad_crate() {}
+
+fn private_ok() {}
+
+pub struct NotAFn;
+"#;
+        let r = check_file(&ctx, src);
+        let got: Vec<u32> = r.findings.iter().map(|f| f.line).collect();
+        assert!(r.findings.iter().all(|f| f.rule == "LT06"));
+        assert_eq!(got, vec![5, 11]);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_and_is_counted() {
+        let src = "fn f() {\n  x.unwrap(); // lt-lint: allow(LT01, init-time invariant)\n}\n";
+        let r = check_file(&lib_ctx(), src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allows.len(), 1);
+        assert_eq!(r.allows[0].rule, "LT01");
+        assert_eq!(r.allows[0].reason, "init-time invariant");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = "fn f() {\n  // lt-lint: allow(LT04, sentinel for min-fold)\n  let a = f64::INFINITY;\n}\n";
+        let r = check_file(&lib_ctx(), src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allows.len(), 1);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "fn f() {\n  x.unwrap(); // lt-lint: allow(LT03, wrong rule)\n}\n";
+        let r = check_file(&lib_ctx(), src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn malformed_directives_are_lt00_findings() {
+        for bad in [
+            "fn f() { x.unwrap(); } // lt-lint: allow(LT01)\n",
+            "fn f() {} // lt-lint: allow(LT99, unknown rule)\n",
+            "fn f() {} // lt-lint: allow(LT00, cannot allow LT00)\n",
+            "fn f() {} // lt-lint: allowed(LT01, wrong verb)\n",
+        ] {
+            let r = check_file(&lib_ctx(), bad);
+            assert!(
+                r.findings.iter().any(|f| f.rule == "LT00"),
+                "expected LT00 for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// lt-lint: allow(LT01, nothing here)\nfn f() {}\n";
+        let r = check_file(&lib_ctx(), src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn classify_paths() {
+        use FileKind::*;
+        assert_eq!(
+            classify("crates/core/src/mva/amva.rs"),
+            (Library, Some("core"))
+        );
+        assert_eq!(
+            classify("crates/service/src/bin/latencyd.rs"),
+            (Bin, Some("service"))
+        );
+        assert_eq!(
+            classify("crates/lint/tests/fixtures.rs"),
+            (Test, Some("lint"))
+        );
+        assert_eq!(classify("examples/quickstart.rs"), (Example, None));
+        assert_eq!(classify("src/lib.rs"), (Library, None));
+        assert_eq!(classify("tests/convergence_stress.rs"), (Test, None));
+        assert_eq!(
+            classify("crates/lint/fixtures/crates/service/src/lt05.rs"),
+            (Library, Some("service"))
+        );
+    }
+
+    #[test]
+    fn bin_files_skip_lt01_but_not_lt02() {
+        let ctx = FileCtx {
+            rel_path: "crates/service/src/bin/latencyd.rs",
+            kind: FileKind::Bin,
+            crate_name: Some("service"),
+        };
+        let src = "fn main() { x.unwrap(); v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let r = check_file(&ctx, src);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["LT02"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Test-scope annotation: which tokens live inside `#[cfg(test)]` items,
+//! `#[test]` functions, or `mod tests { .. }` blocks.
+//!
+//! The tracker runs one pass over the token stream and marks every token
+//! with whether it is inside a test-only region, so rules like LT01 (no
+//! panics in library code) can skip test code without any per-rule logic.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A token plus the scope information rules need.
+#[derive(Debug, Clone)]
+pub struct ScopedToken {
+    /// The underlying lexed token.
+    pub tok: Token,
+    /// True when the token is inside `#[cfg(test)]` / `#[test]` /
+    /// `mod tests` scope (including the braces themselves).
+    pub in_test: bool,
+}
+
+/// Annotate `tokens` with test-scope information.
+///
+/// Recognized test markers, tracked through nesting:
+/// * an attribute whose idents include `test` and not `not`
+///   (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`) — the next
+///   braced item is a test region; `#[cfg(not(test))]` is not;
+/// * `mod tests` — the conventional unit-test module name.
+pub fn annotate(tokens: Vec<Token>) -> Vec<ScopedToken> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut depth = 0usize;
+    // Depths at which a test region opened; non-empty means "in test".
+    let mut regions: Vec<usize> = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let mut consumed = 1;
+        if !t.kind.is_comment() {
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "#") => {
+                    // Attribute: scan `[...]` (balanced) for the idents that
+                    // make it a test marker. Emits every consumed token.
+                    let mut j = i + 1;
+                    if matches!(tokens.get(j), Some(n) if n.kind == TokenKind::Punct && n.text == "!")
+                    {
+                        j += 1;
+                    }
+                    if matches!(tokens.get(j), Some(n) if n.kind == TokenKind::Punct && n.text == "[")
+                    {
+                        let mut brackets = 0usize;
+                        let mut has_test = false;
+                        let mut has_not = false;
+                        let mut k = j;
+                        while let Some(n) = tokens.get(k) {
+                            match (n.kind, n.text.as_str()) {
+                                (TokenKind::Punct, "[") => brackets += 1,
+                                (TokenKind::Punct, "]") => {
+                                    brackets -= 1;
+                                    if brackets == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                (TokenKind::Ident, "test") => has_test = true,
+                                (TokenKind::Ident, "not") => has_not = true,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        if has_test && !has_not {
+                            pending = true;
+                        }
+                        consumed = k - i;
+                    }
+                }
+                (TokenKind::Ident, "mod") => {
+                    if matches!(
+                        tokens.get(i + 1),
+                        Some(n) if n.kind == TokenKind::Ident && n.text == "tests"
+                    ) {
+                        pending = true;
+                    }
+                }
+                (TokenKind::Punct, "{") => {
+                    depth += 1;
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                }
+                (TokenKind::Punct, "}") => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                (TokenKind::Punct, ";") => {
+                    // `#[cfg(test)] mod tests;` or a test-gated use: the
+                    // item ended without braces, nothing to scope.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        let in_test = !regions.is_empty();
+        for t in &tokens[i..i + consumed] {
+            out.push(ScopedToken {
+                tok: t.clone(),
+                in_test,
+            });
+        }
+        i += consumed;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_idents(src: &str) -> Vec<(String, bool)> {
+        annotate(lex(src))
+            .into_iter()
+            .filter(|s| s.tok.kind == TokenKind::Ident)
+            .map(|s| (s.tok.text, s.in_test))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_test_scope() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn lib2() {}";
+        let ids = test_idents(src);
+        let lookup = |name: &str| ids.iter().find(|(t, _)| t == name).map(|(_, b)| *b);
+        assert_eq!(lookup("lib"), Some(false));
+        assert_eq!(lookup("unwrap"), Some(true));
+        assert_eq!(lookup("lib2"), Some(false));
+    }
+
+    #[test]
+    fn test_attribute_scopes_one_fn() {
+        let src = "#[test]\nfn t() { a(); }\nfn lib() { b(); }";
+        let ids = test_idents(src);
+        let lookup = |name: &str| ids.iter().find(|(t, _)| t == name).map(|(_, b)| *b);
+        assert_eq!(lookup("a"), Some(true));
+        assert_eq!(lookup("b"), Some(false));
+    }
+
+    #[test]
+    fn cfg_not_test_is_library_scope() {
+        let src = "#[cfg(not(test))]\nfn lib() { a(); }";
+        let ids = test_idents(src);
+        assert!(ids.iter().all(|(_, in_test)| !in_test));
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_counts() {
+        let src = "mod tests { fn t() { a(); } } fn lib() { b(); }";
+        let ids = test_idents(src);
+        let lookup = |name: &str| ids.iter().find(|(t, _)| t == name).map(|(_, b)| *b);
+        assert_eq!(lookup("a"), Some(true));
+        assert_eq!(lookup("b"), Some(false));
+    }
+
+    #[test]
+    fn attribute_stacking_keeps_pending() {
+        let src = "#[test]\n#[ignore]\nfn t() { a(); }";
+        let ids = test_idents(src);
+        assert_eq!(
+            ids.iter().find(|(t, _)| t == "a").map(|(_, b)| *b),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn semicolon_clears_pending() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { a(); }";
+        let ids = test_idents(src);
+        assert_eq!(
+            ids.iter().find(|(t, _)| t == "a").map(|(_, b)| *b),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn nested_braces_inside_test_fn_stay_test() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { if x { y.unwrap(); } } }\nfn lib() {}";
+        let ids = test_idents(src);
+        assert_eq!(
+            ids.iter().find(|(t, _)| t == "unwrap").map(|(_, b)| *b),
+            Some(true)
+        );
+        assert_eq!(
+            ids.iter().find(|(t, _)| t == "lib").map(|(_, b)| *b),
+            Some(false)
+        );
+    }
+}

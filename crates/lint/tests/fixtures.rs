@@ -1,0 +1,117 @@
+//! Golden-snapshot test for the fixture tree.
+//!
+//! The fixtures under `crates/lint/fixtures/` deliberately violate every
+//! rule; this test pins the exact findings (position, rule, snippet,
+//! suggestion) as a JSON snapshot. Regenerate after an intentional rule
+//! change with:
+//!
+//! ```text
+//! cargo run -p lt-lint -- --json crates/lint/fixtures \
+//!     > crates/lint/tests/golden/fixtures.json
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lt_lint::{lint_paths, RULES};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has two ancestors")
+        .to_path_buf()
+}
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fixtures.json")
+}
+
+#[test]
+fn fixtures_match_golden_snapshot() {
+    let report = lint_paths(&workspace_root(), &[PathBuf::from("crates/lint/fixtures")])
+        .expect("lint fixtures");
+    let actual = report.to_json();
+    let expected = fs::read_to_string(golden_path()).expect("read golden snapshot");
+    assert_eq!(
+        actual, expected,
+        "fixture findings drifted from tests/golden/fixtures.json; \
+         if the rule change is intentional, regenerate the snapshot \
+         (see this file's doc comment)"
+    );
+}
+
+#[test]
+fn fixtures_exercise_every_rule() {
+    let report = lint_paths(&workspace_root(), &[PathBuf::from("crates/lint/fixtures")])
+        .expect("lint fixtures");
+    let counts = report.counts_by_rule();
+    for rule in RULES {
+        assert!(
+            counts.get(rule.id).copied().unwrap_or(0) > 0,
+            "no fixture triggers {}; add one under crates/lint/fixtures/",
+            rule.id
+        );
+    }
+    // The fixtures also pin the suppression machinery: used and stale
+    // directives must both appear.
+    assert!(
+        !report.allows.is_empty(),
+        "no fixture exercises a used allow"
+    );
+    assert!(
+        !report.unused_allows.is_empty(),
+        "no fixture exercises a stale (unused) allow"
+    );
+}
+
+#[test]
+fn golden_json_round_trips_through_lt_core_parser() {
+    let text = fs::read_to_string(golden_path()).expect("read golden snapshot");
+    let doc = lt_core::json::parse(&text).expect("golden snapshot is valid JSON");
+
+    let findings = doc
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .expect("findings array");
+    let allows = doc
+        .get("allows")
+        .and_then(|v| v.as_array())
+        .expect("allows array");
+    let summary = doc.get("summary").expect("summary object");
+
+    // The summary must agree with the arrays it summarizes.
+    assert_eq!(
+        summary.get("findings").and_then(|v| v.as_u64()),
+        Some(findings.len() as u64)
+    );
+    assert_eq!(
+        summary.get("allows").and_then(|v| v.as_u64()),
+        Some(allows.len() as u64)
+    );
+    let by_rule = summary
+        .get("by_rule")
+        .and_then(|v| v.as_object())
+        .expect("by_rule object");
+    let total: u64 = by_rule
+        .iter()
+        .map(|(_, n)| n.as_u64().expect("count"))
+        .sum();
+    assert_eq!(total, findings.len() as u64);
+
+    // Every finding is well-formed: known rule, 1-based position, and a
+    // non-empty suggestion.
+    let known: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    for f in findings {
+        let rule = f.get("rule").and_then(|v| v.as_str()).expect("rule");
+        assert!(known.contains(&rule), "unknown rule {rule} in golden");
+        assert!(f.get("line").and_then(|v| v.as_u64()).expect("line") >= 1);
+        assert!(f.get("col").and_then(|v| v.as_u64()).expect("col") >= 1);
+        assert!(!f
+            .get("suggestion")
+            .and_then(|v| v.as_str())
+            .expect("suggestion")
+            .is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! The workspace's own sources must lint clean.
+//!
+//! This is the self-check behind the CI gate (`lt-lint --workspace
+//! --deny`): zero findings, zero stale suppressions, and exactly the
+//! pinned number of justified `lt-lint: allow(...)` directives. The pin
+//! forces every new suppression through code review — adding one without
+//! updating the count here fails the build.
+
+use std::path::{Path, PathBuf};
+
+use lt_lint::lint_workspace;
+
+/// Justified suppressions currently in the workspace. Update this number
+/// (in the same commit as the new directive) when a suppression is added
+/// or removed.
+const PINNED_ALLOWS: usize = 66;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has two ancestors")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = lint_workspace(&workspace_root()).expect("walk workspace");
+    assert!(report.files_scanned > 50, "walk looks truncated");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report.to_table()
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale allow directives (they no longer match a finding):\n{}",
+        report.to_table()
+    );
+    assert_eq!(
+        report.allows.len(),
+        PINNED_ALLOWS,
+        "suppression count changed; review the new/removed allows and \
+         update PINNED_ALLOWS:\n{}",
+        report.to_table()
+    );
+}

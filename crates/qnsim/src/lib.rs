@@ -25,6 +25,8 @@
 //!   access sequences (e.g. a literal do-all loop) instead of the
 //!   stochastic workload abstraction.
 
+#![forbid(unsafe_code)]
+
 pub mod mms;
 pub mod trace;
 

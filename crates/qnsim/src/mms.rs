@@ -379,6 +379,7 @@ impl MmsSim {
                     MEM => self.busy_mem.add(now, 1.0),
                     IN => self.busy_in.add(now, 1.0),
                     OUT => self.busy_out.add(now, 1.0),
+                    // lt-lint: allow(LT01, invariant: station ids are built as bank*p+node with bank in PROC..=OUT)
                     _ => unreachable!(),
                 }
                 self.stations[id].busy += 1;
@@ -398,12 +399,14 @@ impl MmsSim {
                         let blocked = self.stations[waiter]
                             .stalled
                             .take()
+                            // lt-lint: allow(LT01, invariant: a station enters blocked_on only after parking its job in stalled)
                             .expect("blocked waiter holds a job");
                         self.stations[id].waiting.push_back(blocked);
                         self.stations[waiter].busy -= 1;
                         match waiter / self.p {
                             OUT => self.busy_out.add(now, -1.0),
                             IN => self.busy_in.add(now, -1.0),
+                            // lt-lint: allow(LT01, invariant: only OUT/IN stations ever deliver_to_in and stall)
                             _ => unreachable!("only switches stall"),
                         }
                         self.agenda.push(waiter);
@@ -448,6 +451,7 @@ impl MmsSim {
                 let hop = self
                     .topo
                     .next_hop(c.node, job.target())
+                    // lt-lint: allow(LT01, invariant: a job only enters an out-switch when its target is a different node)
                     .expect("messages in the network travel");
                 if self.deliver_to_in(hop, id, job) {
                     self.stations[id].busy -= 1;
@@ -458,6 +462,7 @@ impl MmsSim {
             IN => {
                 let target = job.target();
                 if c.node != target {
+                    // lt-lint: allow(LT01, invariant: guarded by the node != target branch right above)
                     let hop = self.topo.next_hop(c.node, target).expect("not at target");
                     if self.deliver_to_in(hop, id, job) {
                         self.stations[id].busy -= 1;
@@ -500,6 +505,7 @@ impl MmsSim {
                 }
                 self.agenda.push(id);
             }
+            // lt-lint: allow(LT01, invariant: completions are only scheduled for the four real banks)
             _ => unreachable!(),
         }
         self.settle();
@@ -511,6 +517,7 @@ impl MmsSim {
             if next > t_end {
                 return true;
             }
+            // lt-lint: allow(LT01, invariant: pop follows a successful peek on the same queue)
             let (_, c) = self.events.pop().expect("peeked");
             self.handle(c);
         }
@@ -547,6 +554,7 @@ pub fn simulate(cfg: &SystemConfig, opts: &MmsOptions) -> MmsSimResult {
 /// `pilot_horizon / 2` (the cap) when the pilot never settles — in that
 /// case run a longer pilot.
 pub fn suggest_warmup(cfg: &SystemConfig, pilot_horizon: f64, seed: u64) -> f64 {
+    // lt-lint: allow(LT01, precondition: documented panic on invalid input, same contract as the asserts beside it)
     cfg.validate().expect("valid configuration");
     assert!(pilot_horizon > 0.0);
     let opts = MmsOptions {
@@ -598,6 +606,7 @@ pub fn simulate_trace(
     opts: &MmsOptions,
     workload: &TraceWorkload,
 ) -> MmsSimResult {
+    // lt-lint: allow(LT01, precondition: documented panic on invalid input, same contract as cfg.validate below)
     workload.validate(cfg).expect("trace matches the machine");
     run_simulation(cfg, opts, Some(workload.clone()))
 }
@@ -607,6 +616,7 @@ fn run_simulation(
     opts: &MmsOptions,
     trace: Option<TraceWorkload>,
 ) -> MmsSimResult {
+    // lt-lint: allow(LT01, precondition: documented panic on invalid input, same contract as the asserts beside it)
     cfg.validate().expect("valid configuration");
     assert!(opts.batches >= 2, "need >= 2 batches for CIs");
     assert!(

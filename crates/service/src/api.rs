@@ -235,7 +235,7 @@ struct Axis {
 /// `configs`).
 fn apply_param(cfg: &SystemConfig, param: &str, value: f64) -> Result<SystemConfig, ApiError> {
     let as_count = |what: &str| -> Result<usize, ApiError> {
-        if value.fract() != 0.0 || value < 0.0 || value > (1u64 << 53) as f64 {
+        if !lt_core::num::whole_number(value) || value < 0.0 || value > (1u64 << 53) as f64 {
             Err(ApiError::bad_request(format!(
                 "grid value {value} for \"{what}\" must be a non-negative integer"
             )))

@@ -14,6 +14,7 @@
 //! (capacity / 16) and the scan avoids the linked-list bookkeeping a
 //! textbook LRU needs under a mutex.
 
+use crate::sync::lock_ok;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -98,7 +99,7 @@ impl<V: Clone> SolveCache<V> {
 
     /// Look up a key, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<V> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = lock_ok(self.shard(key));
         shard.tick += 1;
         let tick = shard.tick;
         match shard.map.get_mut(key) {
@@ -120,7 +121,7 @@ impl<V: Clone> SolveCache<V> {
         if self.per_shard_capacity == 0 {
             return;
         }
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = lock_ok(self.shard(&key));
         shard.tick += 1;
         let tick = shard.tick;
         if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
@@ -146,10 +147,7 @@ impl<V: Clone> SolveCache<V> {
 
     /// Current number of live entries (sums shard sizes).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_ok(s).map.len()).sum()
     }
 
     /// Whether the cache is empty.

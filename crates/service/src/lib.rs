@@ -54,12 +54,15 @@
 //! assert!(summary.contains("latencyd shutdown"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod cache;
 pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod server;
+pub mod sync;
 
 pub use api::ApiError;
 pub use cache::{CacheStats, SolveCache};

@@ -9,6 +9,7 @@
 //! shards into one view using `Tally::merge` (exact) and
 //! `P2Quantile::merge` (approximate, error on the order of P² itself).
 
+use crate::sync::lock_ok;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -159,10 +160,7 @@ impl ServiceMetrics {
             cell.get()
         });
         let ms = elapsed.as_secs_f64() * 1e3;
-        self.latency[shard]
-            .lock()
-            .expect("latency shard poisoned")
-            .record(ms);
+        lock_ok(&self.latency[shard]).record(ms);
     }
 
     /// Requests seen on `endpoint`.
@@ -192,7 +190,7 @@ impl ServiceMetrics {
     pub fn latency_summary(&self) -> LatencySummary {
         let mut merged = LatencyShard::new();
         for shard in &self.latency {
-            merged.merge(&shard.lock().expect("latency shard poisoned"));
+            merged.merge(&lock_ok(shard));
         }
         let count = merged.tally.count();
         LatencySummary {

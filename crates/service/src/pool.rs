@@ -20,6 +20,7 @@
 //! The MPMC channel is std's mpsc with the receiver behind a mutex — the
 //! standard dependency-free construction; hold times are one queue pop.
 
+use crate::sync::lock_ok;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -63,13 +64,14 @@ impl WorkerPool {
                     .spawn(move || loop {
                         // Take the next job; exit when the channel is
                         // closed *and* drained.
-                        let job = match rx.lock().expect("pool receiver poisoned").recv() {
+                        let job = match lock_ok(&rx).recv() {
                             Ok(job) => job,
                             Err(_) => break,
                         };
                         job();
                         completed.fetch_add(1, Ordering::Relaxed);
                     })
+                    // lt-lint: allow(LT01, startup fail-fast: a pool that cannot spawn its workers cannot serve at all)
                     .expect("spawn worker thread"),
             );
         }
@@ -101,7 +103,7 @@ impl WorkerPool {
     ///
     /// [`shutdown`]: WorkerPool::shutdown
     pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) -> bool {
-        let guard = self.sender.lock().expect("pool sender poisoned");
+        let guard = lock_ok(&self.sender);
         match guard.as_ref() {
             Some(tx) if tx.send(Box::new(f)).is_ok() => {
                 self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -166,7 +168,7 @@ impl WorkerPool {
 
         fn finish_task<T, F>(state: &BatchState<T, F>) {
             if state.tasks_left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                if let Some(tx) = state.done_tx.lock().expect("batch done_tx poisoned").take() {
+                if let Some(tx) = lock_ok(&state.done_tx).take() {
                     let _ = tx.send(());
                 }
             }
@@ -185,7 +187,7 @@ impl WorkerPool {
                         break;
                     }
                     let value = (task_state.f)(i);
-                    task_state.results.lock().expect("batch results poisoned")[i] = Some(value);
+                    lock_ok(&task_state.results)[i] = Some(value);
                 }
                 finish_task(&task_state);
             });
@@ -204,11 +206,12 @@ impl WorkerPool {
         let wait = deadline.saturating_duration_since(Instant::now());
         match done_rx.recv_timeout(wait) {
             Ok(()) => {
-                let mut slots = state.results.lock().expect("batch results poisoned");
+                let mut slots = lock_ok(&state.results);
                 let out: Vec<T> = slots
                     .iter_mut()
                     .map(|s| s.take())
                     .collect::<Option<_>>()
+                    // lt-lint: allow(LT01, invariant: the done signal only fires after every index was claimed and its slot written)
                     .expect("all batch slots filled by completed tasks");
                 Ok(out)
             }
@@ -226,13 +229,8 @@ impl WorkerPool {
     /// Close the queue and join the workers. Queued jobs are drained first
     /// (graceful). Idempotent.
     pub fn shutdown(&self) {
-        self.sender.lock().expect("pool sender poisoned").take();
-        let handles: Vec<_> = self
-            .handles
-            .lock()
-            .expect("pool handles poisoned")
-            .drain(..)
-            .collect();
+        lock_ok(&self.sender).take();
+        let handles: Vec<_> = lock_ok(&self.handles).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }

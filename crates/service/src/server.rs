@@ -149,6 +149,7 @@ impl Server {
         let accept_thread = std::thread::Builder::new()
             .name("latencyd-accept".into())
             .spawn(move || self.run())
+            // lt-lint: allow(LT01, startup fail-fast: without the accept thread there is no server to keep alive)
             .expect("spawn accept thread");
         ServerHandle {
             addr,
@@ -277,7 +278,16 @@ fn dispatch(state: &Arc<ServiceState>, req: &Request) -> Response {
         "solve" => handle_solve(state, &req.body),
         "sweep" => handle_sweep(state, &req.body),
         "tolerance" => handle_tolerance(state, &req.body),
-        _ => unreachable!(),
+        _ => {
+            // Structurally impossible (endpoint is assigned from the match
+            // above), but a stray arm must degrade, not panic.
+            state.metrics.record_error(endpoint, "not_found");
+            Err(ApiError {
+                status: 404,
+                kind: "not_found".into(),
+                message: format!("no such endpoint: {}", req.path),
+            })
+        }
     };
     match result {
         Ok(resp) => resp,

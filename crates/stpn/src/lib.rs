@@ -26,6 +26,8 @@
 //! model's FCFS stations (mean behavior of M/M/1 is insensitive to
 //! non-preemptive order anyway).
 
+#![forbid(unsafe_code)]
+
 pub mod mms;
 pub mod net;
 pub mod sim;

@@ -161,6 +161,7 @@ pub fn build(cfg: &SystemConfig, settings: &SimSettings) -> MmsNet {
             ready[i],
             exec_dist,
             Box::new(move |rng, now, mut toks| {
+                // lt-lint: allow(LT01, invariant: a timed transition fires with exactly one token per input place)
                 let mut tok = toks.pop().expect("one thread token");
                 if p_remote > 0.0 && rng.bernoulli(p_remote) {
                     tok.dest = rng.choose_weighted(&q);
@@ -186,6 +187,7 @@ pub fn build(cfg: &SystemConfig, settings: &SimSettings) -> MmsNet {
             out_q[j],
             sw_dist,
             Box::new(move |_, _, mut toks| {
+                // lt-lint: allow(LT01, invariant: a timed transition fires with exactly one token per input place)
                 let tok = toks.pop().expect("one message token");
                 let target = match tok.direction {
                     Direction::Request => tok.dest,
@@ -193,6 +195,7 @@ pub fn build(cfg: &SystemConfig, settings: &SimSettings) -> MmsNet {
                 };
                 let hop = topo
                     .next_hop(j, target)
+                    // lt-lint: allow(LT01, invariant: an out-switch only ever holds messages bound for another node)
                     .expect("remote messages always travel");
                 vec![(in_q_all[hop], tok)]
             }),
@@ -210,12 +213,14 @@ pub fn build(cfg: &SystemConfig, settings: &SimSettings) -> MmsNet {
             in_q[j],
             sw_dist,
             Box::new(move |_, now, mut toks| {
+                // lt-lint: allow(LT01, invariant: a timed transition fires with exactly one token per input place)
                 let mut tok = toks.pop().expect("one message token");
                 let target = match tok.direction {
                     Direction::Request => tok.dest,
                     Direction::Response => tok.class,
                 };
                 if j != target {
+                    // lt-lint: allow(LT01, invariant: guarded by the j != target branch right above)
                     let hop = topo.next_hop(j, target).expect("not yet at target");
                     return vec![(in_q_all[hop], tok)];
                 }
@@ -246,6 +251,7 @@ pub fn build(cfg: &SystemConfig, settings: &SimSettings) -> MmsNet {
             },
             vec![mem_q[j]],
             Box::new(move |_, now, mut toks| {
+                // lt-lint: allow(LT01, invariant: a timed transition fires with exactly one token per input place)
                 let mut tok = toks.pop().expect("one access token");
                 tl.borrow_mut().l_obs.record(now - tok.mem_enter);
                 if tok.class == j {
@@ -272,6 +278,7 @@ pub fn build(cfg: &SystemConfig, settings: &SimSettings) -> MmsNet {
 /// Run the Section 8 simulation: warm-up, then `batches` measurement
 /// windows, returning batch-means estimates.
 pub fn simulate(cfg: &SystemConfig, settings: &SimSettings) -> SimResult {
+    // lt-lint: allow(LT01, precondition: documented panic on invalid input, same contract as the asserts beside it)
     cfg.validate().expect("valid configuration");
     assert!(settings.batches >= 2, "need >= 2 batches for CIs");
     assert!(settings.horizon > 0.0 && settings.warmup >= 0.0);

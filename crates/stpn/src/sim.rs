@@ -120,6 +120,7 @@ impl<C> StpnSim<C> {
             .iter()
             .map(|p| {
                 self.occupancy[p.0].add(now, -1.0);
+                // lt-lint: allow(LT01, invariant: enabledness was just checked; every input place holds a token)
                 self.queues[p.0].pop_front().expect("enabled implies token")
             })
             .collect();
@@ -157,6 +158,7 @@ impl<C> StpnSim<C> {
                 .iter()
                 .map(|&t| match self.net.transitions[t].firing {
                     Firing::Immediate { weight } => weight,
+                    // lt-lint: allow(LT01, invariant: this branch only sees the immediate-transition list built above)
                     Firing::Timed { .. } => unreachable!(),
                 })
                 .collect();

@@ -20,6 +20,8 @@
 //! See the `examples/` directory for runnable walkthroughs, and
 //! `EXPERIMENTS.md` for paper-vs-measured comparisons.
 
+#![forbid(unsafe_code)]
+
 pub use lt_core as core;
 pub use lt_desim as desim;
 pub use lt_experiments as experiments;

@@ -12,7 +12,7 @@ fn every_experiment_runs_and_writes_artifacts() {
         quick: true,
     };
     for e in registry() {
-        let report = (e.run)(&ctx);
+        let report = (e.run)(&ctx).unwrap_or_else(|err| panic!("{} failed: {err}", e.id));
         assert!(
             report.len() > 100,
             "{}: suspiciously short report ({} bytes)",
