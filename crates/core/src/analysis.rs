@@ -1,13 +1,15 @@
 //! High-level solve entry points tying together network construction,
 //! solver selection, and metric extraction.
 
+use crate::bounds::mms_isolation_bounds;
 use crate::error::{LtError, Result};
-use crate::metrics::{report, PerformanceReport};
+use crate::metrics::{report, Fidelity, PerformanceReport, SubsystemUtilization};
 use crate::mva::{
     amva, exact, linearizer, priority, symmetric, MvaSolution, SolverDiagnostics, SolverOptions,
 };
 use crate::params::SystemConfig;
 use crate::qn::build::{build_network, MmsNetwork};
+use std::time::Duration;
 
 /// Which solver to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -159,6 +161,119 @@ pub fn solve_with(cfg: &SystemConfig, choice: SolverChoice) -> Result<Performanc
     Ok(report(&mms, &sol))
 }
 
+/// Controls for [`solve_degraded`]: when to abandon the requested solver
+/// and how much wall-clock budget remains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradePolicy {
+    /// Do not run the requested solver at all (circuit breaker open, or a
+    /// fault-injection hook forcing the failure path); go straight to the
+    /// fallback rungs.
+    pub skip_primary: bool,
+    /// Remaining deadline budget, if the caller enforces one. Below
+    /// [`MIN_SOLVE_BUDGET`] the ladder answers from bounds immediately
+    /// rather than risk blowing the deadline inside an iterative solver.
+    pub remaining: Option<Duration>,
+}
+
+/// Remaining budget under which [`solve_degraded`] skips every solver and
+/// answers from the (microseconds-cheap) bounds estimate.
+pub const MIN_SOLVE_BUDGET: Duration = Duration::from_millis(25);
+
+/// Fallback rungs tried, in order, when `choice` fails. `Auto` has no
+/// rungs: it is already a ladder, so when it fails only bounds remain.
+fn fallback_rungs(choice: SolverChoice) -> &'static [SolverChoice] {
+    match choice {
+        SolverChoice::Auto => &[],
+        SolverChoice::Exact => &[SolverChoice::Linearizer, SolverChoice::Amva],
+        SolverChoice::Linearizer => &[SolverChoice::Amva],
+        SolverChoice::SymmetricAmva => &[SolverChoice::Amva],
+        SolverChoice::Amva => &[SolverChoice::Linearizer],
+    }
+}
+
+/// Whether an error is recoverable by falling down the ladder (solver
+/// gave up), as opposed to a property of the request itself.
+fn recoverable(e: &LtError) -> bool {
+    matches!(
+        e,
+        LtError::NoConvergence { .. } | LtError::ProblemTooLarge { .. }
+    )
+}
+
+/// The graceful-degradation ladder: requested solver → weaker solvers →
+/// bounds estimate.
+///
+/// Every success is tagged with its [`Fidelity`]: full fidelity when the
+/// requested solver answered, [`Fidelity::Degraded`] when a fallback rung
+/// did, [`Fidelity::Bounds`] when only the asymptotic/bottleneck estimate
+/// remained. Unrecoverable errors (invalid config, degenerate model)
+/// surface immediately — degrading cannot fix a bad request.
+pub fn solve_degraded(
+    cfg: &SystemConfig,
+    choice: SolverChoice,
+    policy: DegradePolicy,
+) -> Result<PerformanceReport> {
+    if policy.remaining.is_some_and(|left| left < MIN_SOLVE_BUDGET) {
+        return bounds_report(cfg);
+    }
+    if !policy.skip_primary {
+        match solve_with(cfg, choice) {
+            Ok(rep) => return Ok(rep),
+            Err(e) if recoverable(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for &rung in fallback_rungs(choice) {
+        match solve_with(cfg, rung) {
+            Ok(mut rep) => {
+                rep.fidelity = Fidelity::Degraded;
+                return Ok(rep);
+            }
+            Err(e) if recoverable(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    bounds_report(cfg)
+}
+
+/// A [`Fidelity::Bounds`] report synthesized from
+/// [`mms_isolation_bounds`]: `U_p` is the midpoint of the guaranteed
+/// bracket (clamped to a physical utilization), throughput figures follow
+/// from it, and the queueing observables that bounds cannot see are zero.
+pub fn bounds_report(cfg: &SystemConfig) -> Result<PerformanceReport> {
+    let mms = build_network(cfg)?;
+    let b = mms_isolation_bounds(cfg)?;
+    let upper = b.upper.min(1.0);
+    let lower = b.lower.min(upper);
+    let u_p = 0.5 * (lower + upper);
+    let r = cfg.workload.runlength;
+    let lambda_proc = if r > 0.0 { u_p / r } else { 0.0 };
+    let classes = mms.net.n_classes();
+    let d_avg = mms.d_avg.iter().sum::<f64>() / classes as f64;
+    Ok(PerformanceReport {
+        u_p,
+        lambda_proc,
+        lambda_net: lambda_proc * cfg.workload.p_remote,
+        s_obs: 0.0,
+        l_obs: 0.0,
+        l_obs_local: 0.0,
+        l_obs_remote: 0.0,
+        network_time_per_cycle: 0.0,
+        d_avg,
+        system_throughput: u_p * classes as f64,
+        utilization: SubsystemUtilization {
+            processor: u_p,
+            memory: 0.0,
+            in_switch: 0.0,
+            out_switch: 0.0,
+        },
+        u_p_per_class: vec![u_p; classes],
+        iterations: 0,
+        fidelity: Fidelity::Bounds,
+        diagnostics: SolverDiagnostics::direct("bounds"),
+    })
+}
+
 /// Solve a machine whose memory modules serve local accesses with priority
 /// (EM-4 style) — the shadow-server heuristic of [`crate::mva::priority`].
 /// This models a *different machine* than [`solve`], not a different
@@ -250,5 +365,77 @@ mod tests {
     fn invalid_config_is_reported() {
         let cfg = SystemConfig::paper_default().with_p_remote(2.0);
         assert!(solve(&cfg).is_err());
+    }
+
+    #[test]
+    fn degraded_solve_is_full_fidelity_when_primary_succeeds() {
+        let cfg = SystemConfig::paper_default();
+        let rep = solve_degraded(&cfg, SolverChoice::Auto, DegradePolicy::default()).unwrap();
+        assert!(rep.fidelity.is_full(), "{:?}", rep.fidelity);
+        assert_eq!(rep.u_p, solve(&cfg).unwrap().u_p);
+    }
+
+    #[test]
+    fn skipping_primary_falls_to_a_tagged_rung() {
+        let cfg = SystemConfig::paper_default();
+        let policy = DegradePolicy {
+            skip_primary: true,
+            remaining: None,
+        };
+        let rep = solve_degraded(&cfg, SolverChoice::Linearizer, policy).unwrap();
+        assert_eq!(rep.fidelity, Fidelity::Degraded);
+        assert_eq!(rep.diagnostics.solver, "amva", "Linearizer falls to AMVA");
+        assert!(rep.u_p > 0.0 && rep.u_p <= 1.0);
+    }
+
+    #[test]
+    fn skipping_auto_answers_from_bounds() {
+        let cfg = SystemConfig::paper_default();
+        let policy = DegradePolicy {
+            skip_primary: true,
+            remaining: None,
+        };
+        let rep = solve_degraded(&cfg, SolverChoice::Auto, policy).unwrap();
+        assert_eq!(rep.fidelity, Fidelity::Bounds);
+        assert_eq!(rep.diagnostics.solver, "bounds");
+    }
+
+    #[test]
+    fn exhausted_budget_answers_from_bounds() {
+        let cfg = SystemConfig::paper_default();
+        let policy = DegradePolicy {
+            skip_primary: false,
+            remaining: Some(Duration::from_millis(1)),
+        };
+        let rep = solve_degraded(&cfg, SolverChoice::Exact, policy).unwrap();
+        assert_eq!(rep.fidelity, Fidelity::Bounds);
+    }
+
+    #[test]
+    fn bounds_report_brackets_the_exact_solution() {
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(2))
+            .with_n_threads(2);
+        let exact = solve_with(&cfg, SolverChoice::Exact).unwrap().u_p;
+        let b = crate::bounds::mms_isolation_bounds(&cfg).unwrap();
+        let rep = bounds_report(&cfg).unwrap();
+        assert!(b.contains(exact), "{b:?} misses exact {exact}");
+        assert!(
+            rep.u_p >= b.lower - 1e-12 && rep.u_p <= b.upper.min(1.0) + 1e-12,
+            "midpoint {} outside {b:?}",
+            rep.u_p
+        );
+        assert!((rep.lambda_proc - rep.u_p / cfg.workload.runlength).abs() < 1e-12);
+        assert_eq!(rep.u_p_per_class.len(), 4);
+    }
+
+    #[test]
+    fn degrading_cannot_fix_a_bad_request() {
+        let cfg = SystemConfig::paper_default().with_p_remote(2.0);
+        let policy = DegradePolicy {
+            skip_primary: true,
+            remaining: None,
+        };
+        assert!(solve_degraded(&cfg, SolverChoice::Auto, policy).is_err());
     }
 }

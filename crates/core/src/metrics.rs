@@ -9,6 +9,68 @@
 use crate::mva::{MvaSolution, SolverDiagnostics};
 use crate::qn::build::MmsNetwork;
 
+/// How trustworthy a [`PerformanceReport`] is — which rung of the
+/// degradation ladder produced it (see [`crate::analysis::solve_degraded`]).
+///
+/// Serving layers use this to distinguish a full-fidelity answer from a
+/// fallback produced under failure or load shedding; the wire format and
+/// the solution-cache key carry the label so a degraded answer can never
+/// masquerade as (or be cached as) an exact one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Exact MVA solved the requested model: no approximation error.
+    Exact,
+    /// A convergent approximate solver (AMVA / Linearizer / symmetric)
+    /// solved the requested model. This is the normal full-fidelity
+    /// answer for systems past the exact-MVA budget.
+    #[default]
+    Approximate,
+    /// Only an asymptotic/bottleneck bounds estimate was produced: the
+    /// scalar measures are the midpoint of a guaranteed bracket, not a
+    /// solved model.
+    Bounds,
+    /// The requested solver failed and a weaker rung of the ladder
+    /// answered instead: a real solution, but not of the solver asked for.
+    Degraded,
+}
+
+impl Fidelity {
+    /// Stable wire label (`exact | approximate | bounds | degraded`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Exact => "exact",
+            Fidelity::Approximate => "approximate",
+            Fidelity::Bounds => "bounds",
+            Fidelity::Degraded => "degraded",
+        }
+    }
+
+    /// Parse a wire label back into a fidelity.
+    pub fn from_label(s: &str) -> Option<Fidelity> {
+        match s {
+            "exact" => Some(Fidelity::Exact),
+            "approximate" => Some(Fidelity::Approximate),
+            "bounds" => Some(Fidelity::Bounds),
+            "degraded" => Some(Fidelity::Degraded),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a full-fidelity answer to the requested solve
+    /// (exact or a converged approximation), as opposed to a fallback.
+    pub fn is_full(self) -> bool {
+        matches!(self, Fidelity::Exact | Fidelity::Approximate)
+    }
+
+    /// All fidelities, in ladder order (highest first).
+    pub const ALL: [Fidelity; 4] = [
+        Fidelity::Exact,
+        Fidelity::Approximate,
+        Fidelity::Bounds,
+        Fidelity::Degraded,
+    ];
+}
+
 /// Mean utilization of each subsystem kind (fraction of time busy).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubsystemUtilization {
@@ -64,6 +126,8 @@ pub struct PerformanceReport {
     /// How the solve behaved: which solver ran, residual/damping traces,
     /// wall time, extrapolation count.
     pub diagnostics: SolverDiagnostics,
+    /// Which rung of the degradation ladder produced this report.
+    pub fidelity: Fidelity,
 }
 
 /// Extract the paper's measures from a solved MMS network.
@@ -160,6 +224,11 @@ pub fn report(mms: &MmsNetwork, sol: &MvaSolution) -> PerformanceReport {
         utilization: util,
         u_p_per_class,
         iterations: sol.iterations,
+        fidelity: if sol.diagnostics.solver == "exact-mva" {
+            Fidelity::Exact
+        } else {
+            Fidelity::Approximate
+        },
         diagnostics: sol.diagnostics.clone(),
     }
 }
@@ -265,6 +334,22 @@ mod tests {
             assert!(rep.u_p >= prev - 1e-9, "U_p must be monotone in n_t");
             prev = rep.u_p;
         }
+    }
+
+    #[test]
+    fn fidelity_labels_round_trip() {
+        for f in Fidelity::ALL {
+            assert_eq!(Fidelity::from_label(f.label()), Some(f));
+        }
+        assert_eq!(Fidelity::from_label("bogus"), None);
+        assert!(Fidelity::Exact.is_full() && Fidelity::Approximate.is_full());
+        assert!(!Fidelity::Bounds.is_full() && !Fidelity::Degraded.is_full());
+    }
+
+    #[test]
+    fn report_fidelity_follows_the_solver() {
+        let rep = solve_report(&SystemConfig::paper_default());
+        assert_eq!(rep.fidelity, Fidelity::Approximate, "symmetric AMVA");
     }
 
     #[test]

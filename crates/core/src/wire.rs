@@ -14,7 +14,7 @@
 use crate::analysis::SolverChoice;
 use crate::error::{LtError, Result};
 use crate::json::JsonValue;
-use crate::metrics::{PerformanceReport, SubsystemUtilization};
+use crate::metrics::{Fidelity, PerformanceReport, SubsystemUtilization};
 use crate::mva::SolverDiagnostics;
 use crate::num::exactly_zero;
 use crate::params::{ArchParams, SystemConfig, WorkloadParams};
@@ -293,6 +293,7 @@ pub fn report_to_json(rep: &PerformanceReport) -> JsonValue {
             JsonValue::Array(rep.u_p_per_class.iter().map(|&x| x.into()).collect()),
         ),
         ("iterations", rep.iterations.into()),
+        ("fidelity", rep.fidelity.label().into()),
         ("diagnostics", diagnostics_to_json(&rep.diagnostics)),
     ])
 }
@@ -341,6 +342,7 @@ pub fn report_from_json(v: &JsonValue) -> Result<PerformanceReport> {
         .iter()
         .map(|x| num(x, "report.u_p_per_class[]"))
         .collect::<Result<Vec<f64>>>()?;
+    let diagnostics = diagnostics_from_json(req(v, "report", "diagnostics")?)?;
     Ok(PerformanceReport {
         u_p: f("u_p")?,
         lambda_proc: f("lambda_proc")?,
@@ -360,8 +362,33 @@ pub fn report_from_json(v: &JsonValue) -> Result<PerformanceReport> {
         },
         u_p_per_class: per_class,
         iterations: uint(req(v, "report", "iterations")?, "report.iterations")?,
-        diagnostics: diagnostics_from_json(req(v, "report", "diagnostics")?)?,
+        fidelity: fidelity_from_json(v, &diagnostics)?,
+        diagnostics,
     })
+}
+
+/// Decode the `fidelity` label. Pre-fidelity documents (the field is a
+/// later wire addition) default from the solver name: exact MVA means
+/// exact, anything else a converged approximation.
+fn fidelity_from_json(v: &JsonValue, diagnostics: &SolverDiagnostics) -> Result<Fidelity> {
+    match v.get("fidelity") {
+        None => Ok(if diagnostics.solver == "exact-mva" {
+            Fidelity::Exact
+        } else {
+            Fidelity::Approximate
+        }),
+        Some(f) => {
+            let s = string(f, "report.fidelity")?;
+            Fidelity::from_label(s).ok_or_else(|| {
+                bad(
+                    "report.fidelity",
+                    format!(
+                        "unknown fidelity '{s}' (expected exact | approximate | bounds | degraded)"
+                    ),
+                )
+            })
+        }
+    }
 }
 
 /// Decode [`SolverDiagnostics`]. The solver name is interned against the
@@ -402,7 +429,7 @@ pub fn diagnostics_from_json(v: &JsonValue) -> Result<SolverDiagnostics> {
 }
 
 fn intern_solver_name(name: &str) -> &'static str {
-    const KNOWN: [&str; 8] = [
+    const KNOWN: [&str; 9] = [
         "auto",
         "exact-mva",
         "amva",
@@ -411,6 +438,7 @@ fn intern_solver_name(name: &str) -> &'static str {
         "priority",
         "convolution",
         "load-dependent",
+        "bounds",
     ];
     KNOWN
         .iter()
@@ -473,13 +501,22 @@ pub fn canonical_config_key(cfg: &SystemConfig) -> String {
 }
 
 /// Cache key for a (config, solver) pair — what the serving layer's
-/// solution cache is addressed by.
+/// solution cache is addressed by. Addresses **full-fidelity** answers
+/// only; see [`degraded_solve_key`].
 pub fn canonical_solve_key(cfg: &SystemConfig, choice: SolverChoice) -> String {
     format!(
         "{};solver={}",
         canonical_config_key(cfg),
         solver_choice_label(choice)
     )
+}
+
+/// Cache key for degraded-path answers ([`Fidelity::Degraded`] /
+/// [`Fidelity::Bounds`]). Deliberately distinct from
+/// [`canonical_solve_key`] so a healthy lookup can never be answered by a
+/// fallback cached while the solver tier was broken — and vice versa.
+pub fn degraded_solve_key(cfg: &SystemConfig, choice: SolverChoice) -> String {
+    format!("{};fid=degraded", canonical_solve_key(cfg, choice))
 }
 
 #[cfg(test)]
@@ -623,11 +660,61 @@ mod tests {
         let back = report_from_json(&json::parse(&v.encode()).unwrap()).unwrap();
         assert_eq!(back.u_p.to_bits(), rep.u_p.to_bits());
         assert_eq!(back.u_p_per_class, rep.u_p_per_class);
+        assert_eq!(back.fidelity, rep.fidelity);
         assert_eq!(back.diagnostics.solver, rep.diagnostics.solver);
         assert_eq!(back.diagnostics.iterations, rep.diagnostics.iterations);
         assert_eq!(
             back.diagnostics.residual_trace,
             rep.diagnostics.residual_trace
         );
+    }
+
+    #[test]
+    fn fidelity_survives_the_wire_and_defaults_from_the_solver() {
+        let cfg = SystemConfig::paper_default();
+        let mut rep = crate::analysis::solve(&cfg).unwrap();
+        rep.fidelity = Fidelity::Degraded;
+        let back = report_from_json(&json::parse(&report_to_json(&rep).encode()).unwrap()).unwrap();
+        assert_eq!(back.fidelity, Fidelity::Degraded);
+
+        // A pre-fidelity document (field stripped) decodes as approximate.
+        let v = report_to_json(&rep);
+        let stripped = match v {
+            JsonValue::Object(fields) => JsonValue::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "fidelity")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back = report_from_json(&stripped).unwrap();
+        assert_eq!(back.fidelity, Fidelity::Approximate);
+
+        // An unknown label is a field-level error.
+        let mangled = json::parse(
+            &report_to_json(&rep)
+                .encode()
+                .replace("\"degraded\"", "\"mystery\""),
+        )
+        .unwrap();
+        assert!(report_from_json(&mangled).is_err());
+    }
+
+    #[test]
+    fn degraded_key_is_distinct_and_derived() {
+        let cfg = SystemConfig::paper_default();
+        let full = canonical_solve_key(&cfg, SolverChoice::Auto);
+        let degraded = degraded_solve_key(&cfg, SolverChoice::Auto);
+        assert_ne!(full, degraded);
+        assert!(degraded.starts_with(&full));
+    }
+
+    #[test]
+    fn bounds_reports_round_trip() {
+        let rep = crate::analysis::bounds_report(&SystemConfig::paper_default()).unwrap();
+        let back = report_from_json(&json::parse(&report_to_json(&rep).encode()).unwrap()).unwrap();
+        assert_eq!(back.fidelity, Fidelity::Bounds);
+        assert_eq!(back.diagnostics.solver, "bounds", "solver name interned");
     }
 }

@@ -1,0 +1,36 @@
+//! LT07 fixture: swallowed `Result`s via `let _ = ...`.
+
+use std::sync::mpsc::Sender;
+
+pub fn offender(tx: &Sender<u32>) {
+    let _ = tx.send(42);
+}
+
+pub fn chained_offender(h: std::thread::JoinHandle<()>) {
+    let _ = h.join();
+}
+
+pub fn non_offender(tx: &Sender<u32>) {
+    if tx.send(42).is_err() {
+        // Receiver is gone; nothing left to notify.
+    }
+}
+
+pub fn macro_non_offender(out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "writing to a String cannot fail");
+}
+
+pub fn allowed(tx: &Sender<u32>) {
+    // lt-lint: allow(LT07, fixture: justified best-effort send)
+    let _ = tx.send(7);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_are_fine_in_tests() {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let _ = tx.send(1u32);
+    }
+}

@@ -19,6 +19,7 @@
 //! | LT04 | no-nonfinite-literals | non-test library code |
 //! | LT05 | poison-safe-locks | all of `crates/service` |
 //! | LT06 | documented-solvers | `lt-core` solver modules |
+//! | LT07 | no-swallowed-results | non-test library code |
 //!
 //! ## Suppressions
 //!

@@ -13,7 +13,7 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// Rule id (`LT01` ... `LT06`, or `LT00` for malformed directives).
+    /// Rule id (`LT01` ... `LT07`, or `LT00` for malformed directives).
     pub rule: &'static str,
     /// The trimmed source line (capped), for context.
     pub snippet: String,

@@ -1,4 +1,4 @@
-//! The rule catalog (LT01–LT06) and the per-file checker.
+//! The rule catalog (LT01–LT07) and the per-file checker.
 //!
 //! Rules are token-pattern matchers over the scoped token stream produced
 //! by [`crate::lexer`] + [`crate::scope`]. Each rule knows which files it
@@ -96,6 +96,41 @@ pub const RULES: &[RuleInfo] = &[
         summary: "every `pub fn` in the lt-core solver modules (mva/*, analysis, bounds, \
                   bottleneck, tolerance) carries a `///` doc comment",
     },
+    RuleInfo {
+        id: "LT07",
+        name: "no-swallowed-results",
+        summary: "no `let _ = ...` that discards a known-fallible call (send/recv/join/spawn/\
+                  write/flush/...) in non-test library code; handle the error or justify the \
+                  discard with an `lt-lint: allow`",
+    },
+];
+
+/// Call targets whose `Result`/`Err` is too important to discard
+/// silently with `let _ = ...` (LT07). The list is names, not types —
+/// the linter is a token matcher — so it sticks to methods that are
+/// fallible in std and in this workspace's own APIs.
+const FALLIBLE_SINKS: &[&str] = &[
+    "connect",
+    "flush",
+    "join",
+    "kill",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "send",
+    "set_nodelay",
+    "set_read_timeout",
+    "set_write_timeout",
+    "spawn",
+    "try_recv",
+    "try_send",
+    "wait",
+    "write",
+    "write_all",
+    "write_to",
 ];
 
 /// Suggestion text attached to each finding of a rule.
@@ -120,6 +155,10 @@ fn suggestion_for(rule: &str) -> &'static str {
                    poisoned mutex"
         }
         "LT06" => "add a /// doc comment stating the solver contract (inputs, errors, units)",
+        "LT07" => {
+            "handle the Result (match/if-let/log) or justify the discard with \
+                   `// lt-lint: allow(LT07, why the error is ignorable)`"
+        }
         _ => "",
     }
 }
@@ -282,6 +321,41 @@ pub fn check_file(ctx: &FileCtx<'_>, src: &str) -> FileReport {
             && is_punct(ci + 1, "(")
         {
             push("LT05", line, col);
+        }
+
+        // LT07: `let _ = fallible(...)` in non-test library code. The
+        // initializer's *last* call at bracket depth 0 is the one whose
+        // result the binding discards (`a().b()` discards `b`'s); macro
+        // calls (`write!`, `writeln!`) are naturally excluded because the
+        // ident is followed by `!`, not `(`.
+        if library
+            && !in_test
+            && t.tok.kind == TokenKind::Ident
+            && t.tok.text == "let"
+            && at(ci + 1).is_some_and(|n| n.tok.kind == TokenKind::Ident && n.tok.text == "_")
+            && is_punct(ci + 2, "=")
+        {
+            let mut depth = 0i64;
+            let mut cj = ci + 3;
+            let mut last_call: Option<&str> = None;
+            while let Some(n) = at(cj) {
+                match n.tok.kind {
+                    TokenKind::Punct => match n.tok.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    },
+                    TokenKind::Ident if depth == 0 && is_punct(cj + 1, "(") => {
+                        last_call = Some(n.tok.text.as_str());
+                    }
+                    _ => {}
+                }
+                cj += 1;
+            }
+            if last_call.is_some_and(|name| FALLIBLE_SINKS.contains(&name)) {
+                push("LT07", line, col);
+            }
         }
 
         // LT06: undocumented pub fn in lt-core solver modules.
@@ -623,6 +697,55 @@ pub struct NotAFn;
         let got: Vec<u32> = r.findings.iter().map(|f| f.line).collect();
         assert!(r.findings.iter().all(|f| f.rule == "LT06"));
         assert_eq!(got, vec![5, 11]);
+    }
+
+    #[test]
+    fn lt07_flags_swallowed_fallible_results() {
+        let src = "fn f() {\n  let _ = tx.send(msg);\n  let _ = handle.join();\n  let _ = stream.set_read_timeout(Some(t));\n  let _ = Response::json(s, b).write_to(&mut w);\n}\n";
+        assert_eq!(
+            run(src),
+            vec![("LT07", 2), ("LT07", 3), ("LT07", 4), ("LT07", 5)]
+        );
+    }
+
+    #[test]
+    fn lt07_ignores_macros_bindings_and_infallible_discards() {
+        let src = r#"
+fn f() {
+    let _ = writeln!(out, "{}", x);
+    let _ = write!(s, "{}", y);
+    let _ = compute(a, b);
+    let _x = tx.send(msg);
+    let n = tx.send(msg);
+    let _ = some_value;
+    if tx.send(msg).is_err() { cleanup(); }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = tx.send(1); }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn lt07_only_judges_the_outermost_call() {
+        // The discarded result is `unwrap_or`'s, not `recv`'s: fine.
+        let src = "fn f() {\n  let _ = rx.recv().unwrap_or(fallback());\n}\n";
+        assert!(run(src).is_empty());
+        // Nested fallible calls inside the args don't fire either.
+        let src = "fn f() {\n  let _ = log(tx.send(x));\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn lt07_allow_suppresses_with_reason() {
+        let src = "fn f() {\n  // lt-lint: allow(LT07, best effort: receiver may be gone)\n  let _ = tx.send(msg);\n}\n";
+        let r = check_file(&lib_ctx(), src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allows.len(), 1);
+        assert_eq!(r.allows[0].rule, "LT07");
     }
 
     #[test]

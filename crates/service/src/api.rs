@@ -46,6 +46,30 @@ impl ApiError {
         }
     }
 
+    /// The `429 overloaded` error for a request shed by admission
+    /// control. The response carries `Retry-After`.
+    pub fn overloaded(in_flight: usize, limit: usize) -> ApiError {
+        ApiError {
+            status: 429,
+            kind: "overloaded".into(),
+            message: format!(
+                "server is at capacity ({in_flight} requests in flight, limit {limit}); retry later"
+            ),
+        }
+    }
+
+    /// The `500 worker_lost` error for a request whose worker died
+    /// mid-solve and whose retry budget is exhausted.
+    pub fn worker_lost(attempts: u32) -> ApiError {
+        ApiError {
+            status: 500,
+            kind: "worker_lost".into(),
+            message: format!(
+                "a worker thread died while solving this request ({attempts} attempt(s) made)"
+            ),
+        }
+    }
+
     /// The JSON body for this error.
     pub fn body(&self) -> String {
         json::encode(&JsonValue::object(vec![(
@@ -516,5 +540,18 @@ mod tests {
         assert_eq!(e.status, 504);
         let body = e.body();
         assert!(body.contains("\"kind\":\"timeout\""), "{body}");
+    }
+
+    #[test]
+    fn overload_and_worker_lost_error_shapes() {
+        let e = ApiError::overloaded(9, 8);
+        assert_eq!(e.status, 429);
+        assert_eq!(e.kind, "overloaded");
+        assert!(e.message.contains("limit 8"), "{}", e.message);
+
+        let e = ApiError::worker_lost(3);
+        assert_eq!(e.status, 500);
+        assert_eq!(e.kind, "worker_lost");
+        assert!(e.body().contains("\"kind\":\"worker_lost\""));
     }
 }

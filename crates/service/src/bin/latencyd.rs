@@ -14,11 +14,15 @@ USAGE:
     latencyd [OPTIONS]
 
 OPTIONS:
-    --addr HOST:PORT   Listen address (default 127.0.0.1:7077; port 0 picks a free port)
-    --workers N        Solve worker threads (default: CPU count, capped at 8)
-    --cache N          Solution-cache capacity in entries, 0 disables (default 1024)
-    --timeout-ms N     Default per-request deadline in milliseconds (default 30000)
-    -h, --help         Print this help
+    --addr HOST:PORT          Listen address (default 127.0.0.1:7077; port 0 picks a free port)
+    --workers N               Solve worker threads (default: CPU count, capped at 8)
+    --cache N                 Solution-cache capacity in entries, 0 disables (default 1024)
+    --timeout-ms N            Default per-request deadline in milliseconds (default 30000)
+    --max-queue N             Most POST requests in flight before shedding with 429 (default 256)
+    --breaker-threshold N     Consecutive solver failures that trip a tier's breaker (default 5)
+    --breaker-cooldown-ms N   How long a tripped breaker stays open before probing (default 1000)
+    --retry-max N             Worker-lost retries per request, 0 disables (default 2)
+    -h, --help                Print this help
 
 ENDPOINTS:
     POST /v1/solve      {\"config\":{...},\"solver\":\"auto\",\"timeout_ms\":N}
@@ -55,6 +59,30 @@ fn parse_args() -> Result<ServerConfig, String> {
                 cfg.default_timeout_ms = value("--timeout-ms")?
                     .parse()
                     .map_err(|_| "--timeout-ms expects a positive integer".to_string())?;
+            }
+            "--max-queue" => {
+                cfg.max_queue_depth = value("--max-queue")?
+                    .parse()
+                    .map_err(|_| "--max-queue expects a positive integer".to_string())?;
+                if cfg.max_queue_depth == 0 {
+                    return Err("--max-queue must be at least 1".into());
+                }
+            }
+            "--breaker-threshold" => {
+                cfg.breaker_threshold = value("--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| "--breaker-threshold expects a positive integer".to_string())?;
+            }
+            "--breaker-cooldown-ms" => {
+                cfg.breaker_cooldown_ms =
+                    value("--breaker-cooldown-ms")?.parse().map_err(|_| {
+                        "--breaker-cooldown-ms expects a non-negative integer".to_string()
+                    })?;
+            }
+            "--retry-max" => {
+                cfg.retry_max = value("--retry-max")?
+                    .parse()
+                    .map_err(|_| "--retry-max expects a non-negative integer".to_string())?;
             }
             "-h" | "--help" => {
                 print!("{USAGE}");

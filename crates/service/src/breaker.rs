@@ -1,0 +1,251 @@
+//! A per-solver-tier circuit breaker.
+//!
+//! Each solver tier (`auto`, `exact`, ...) gets its own breaker. While a
+//! tier keeps failing (consecutive `no_convergence` / timeouts reach the
+//! threshold) the breaker **opens** and requests for that tier skip the
+//! primary solver entirely, answering from the degradation ladder — a
+//! broken tier stops burning worker time on solves that will fail. After
+//! a cooldown the breaker goes **half-open**: exactly one in-flight probe
+//! request is allowed to try the primary solver; its success re-closes
+//! the breaker, its failure re-opens it for another cooldown.
+//!
+//! The state machine lives behind one small mutex (transitions only;
+//! the hot path is a lock, a compare, an unlock) and reports transitions
+//! to the caller so [`crate::metrics::ServiceMetrics`] can count them.
+
+use crate::sync::lock_ok;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker states, classic three-state form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests run the primary solver.
+    Closed,
+    /// Broken: requests skip the primary solver until the cooldown ends.
+    Open,
+    /// Probing: one request is testing whether the tier recovered.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What the breaker decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Run the primary solver normally.
+    Allow,
+    /// Run the primary solver as the half-open probe.
+    Probe,
+    /// Skip the primary solver; answer from the degradation ladder.
+    SkipPrimary,
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// A probe is in flight; further half-open requests skip the primary.
+    probing: bool,
+}
+
+/// One solver tier's breaker.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker opening after `threshold` consecutive failures,
+    /// staying open for `cooldown` before probing. A zero threshold is
+    /// clamped to 1 (a breaker that can never close again is useless).
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probing: false,
+            }),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        lock_ok(&self.inner).state
+    }
+
+    /// Admit one request. Returns the decision plus the new state if this
+    /// call transitioned the breaker (open → half-open).
+    pub fn admit(&self) -> (BreakerDecision, Option<BreakerState>) {
+        let mut g = lock_ok(&self.inner);
+        match g.state {
+            BreakerState::Closed => (BreakerDecision::Allow, None),
+            BreakerState::Open => {
+                let cooled = g.opened_at.map_or(true, |t| t.elapsed() >= self.cooldown);
+                if cooled {
+                    g.state = BreakerState::HalfOpen;
+                    g.probing = true;
+                    (BreakerDecision::Probe, Some(BreakerState::HalfOpen))
+                } else {
+                    (BreakerDecision::SkipPrimary, None)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if g.probing {
+                    // A probe is already in flight; don't pile on.
+                    (BreakerDecision::SkipPrimary, None)
+                } else {
+                    g.probing = true;
+                    (BreakerDecision::Probe, None)
+                }
+            }
+        }
+    }
+
+    /// Record a primary-solver success. Returns the new state on a
+    /// transition (half-open → closed).
+    pub fn on_success(&self) -> Option<BreakerState> {
+        let mut g = lock_ok(&self.inner);
+        g.consecutive_failures = 0;
+        g.probing = false;
+        match g.state {
+            BreakerState::Closed => None,
+            BreakerState::HalfOpen | BreakerState::Open => {
+                g.state = BreakerState::Closed;
+                g.opened_at = None;
+                Some(BreakerState::Closed)
+            }
+        }
+    }
+
+    /// The admitted probe (or allowed request) never judged the tier —
+    /// the worker died, the pool closed, or the config itself was bad.
+    /// Clears the probe-in-flight flag without recording success or
+    /// failure, so a stranded probe cannot wedge the breaker half-open.
+    pub fn abort_probe(&self) {
+        lock_ok(&self.inner).probing = false;
+    }
+
+    /// Record a primary-solver failure (`no_convergence` or timeout).
+    /// Returns the new state on a transition (closed → open at the
+    /// threshold, half-open → open on a failed probe).
+    pub fn on_failure(&self) -> Option<BreakerState> {
+        let mut g = lock_ok(&self.inner);
+        g.probing = false;
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.threshold {
+                    g.state = BreakerState::Open;
+                    g.opened_at = Some(Instant::now());
+                    Some(BreakerState::Open)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                g.state = BreakerState::Open;
+                g.opened_at = Some(Instant::now());
+                Some(BreakerState::Open)
+            }
+            BreakerState::Open => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(3, Duration::from_millis(20))
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = breaker();
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), None);
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        assert_eq!(b.state(), BreakerState::Open);
+        let (d, _) = b.admit();
+        assert_eq!(d, BreakerDecision::SkipPrimary, "within cooldown");
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let b = breaker();
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "run was reset");
+    }
+
+    #[test]
+    fn probes_after_cooldown_and_recloses_on_success() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let (d, ev) = b.admit();
+        assert_eq!(d, BreakerDecision::Probe);
+        assert_eq!(ev, Some(BreakerState::HalfOpen));
+        // Concurrent request while the probe is out: skip, no pile-on.
+        let (d2, ev2) = b.admit();
+        assert_eq!(d2, BreakerDecision::SkipPrimary);
+        assert_eq!(ev2, None);
+        assert_eq!(b.on_success(), Some(BreakerState::Closed));
+        assert_eq!(b.admit().0, BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit().0, BreakerDecision::Probe);
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        assert_eq!(b.admit().0, BreakerDecision::SkipPrimary);
+    }
+
+    #[test]
+    fn aborted_probe_does_not_wedge_the_breaker() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit().0, BreakerDecision::Probe);
+        // The probe's worker died before it judged the tier.
+        b.abort_probe();
+        // The next request gets to probe instead of skipping forever.
+        assert_eq!(b.admit().0, BreakerDecision::Probe);
+        assert_eq!(b.on_success(), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped() {
+        let b = CircuitBreaker::new(0, Duration::ZERO);
+        assert_eq!(b.on_failure(), Some(BreakerState::Open));
+        // Zero cooldown: the next admit immediately probes.
+        assert_eq!(b.admit().0, BreakerDecision::Probe);
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic fault injection for chaos-testing `latencyd`.
+//!
+//! A [`FaultPlan`] draws one [`FaultDecision`] per request from a seeded
+//! [`lt_desim::SimRng`] substream keyed by the request's admission index,
+//! so the injected fault sequence is a pure function of `(seed, index)` —
+//! independent of thread interleaving, wall clock, and connection reuse.
+//! The plan is wired through [`crate::ServerConfig::fault_plan`]: `None`
+//! (the production default) costs one branch per request and allocates
+//! nothing.
+//!
+//! The fault taxonomy mirrors what operating the service has to survive:
+//!
+//! | fault            | injected where                  | expected outcome |
+//! |------------------|---------------------------------|------------------|
+//! | `latency`        | before dispatch                 | slower answer, deadline still enforced |
+//! | `worker_panic`   | inside the pool job             | worker respawned; bounded retry or structured `worker_lost` |
+//! | `no_convergence` | primary solver forced to fail   | tagged degraded/bounds answer; breaker failure |
+//! | `cache_corrupt`  | cache key mangled               | treated as a miss; fresh result not cached |
+//! | `conn_drop`      | connection closed, not answered | clean connection close, no partial write |
+
+use lt_desim::SimRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Probabilities and magnitudes of the injectable faults. All
+/// probabilities default to zero (inject nothing).
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Seed of the per-request decision stream.
+    pub seed: u64,
+    /// Inject only into the first `window` requests; `None` means always.
+    /// A finite window lets a test drive a fault burst and then observe
+    /// recovery on the same server.
+    pub window: Option<u64>,
+    /// Probability of an artificial pre-dispatch delay.
+    pub latency_prob: f64,
+    /// The delay injected when `latency_prob` fires.
+    pub latency: Duration,
+    /// Probability the pool job panics (killing its worker thread).
+    pub worker_panic_prob: f64,
+    /// Probability the primary solver is forced to fail, exercising the
+    /// degradation ladder and the circuit breaker.
+    pub no_convergence_prob: f64,
+    /// Probability the cache key is mangled (lookup misses, result is not
+    /// cached).
+    pub cache_corrupt_prob: f64,
+    /// Probability the connection is dropped instead of answered.
+    pub conn_drop_prob: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            window: None,
+            latency_prob: 0.0,
+            latency: Duration::ZERO,
+            worker_panic_prob: 0.0,
+            no_convergence_prob: 0.0,
+            cache_corrupt_prob: 0.0,
+            conn_drop_prob: 0.0,
+        }
+    }
+}
+
+/// The faults drawn for one request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Sleep this long before dispatching.
+    pub latency: Option<Duration>,
+    /// Panic inside the pool job (via [`detonate`]).
+    pub worker_panic: bool,
+    /// Force the primary solver down the degradation ladder.
+    pub no_convergence: bool,
+    /// Mangle the cache key for this request.
+    pub cache_corrupt: bool,
+    /// Drop the connection instead of writing a response.
+    pub conn_drop: bool,
+}
+
+/// A seeded fault plan plus counters of what actually fired.
+#[derive(Debug)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    requests: AtomicU64,
+    injected_latency: AtomicU64,
+    injected_worker_panics: AtomicU64,
+    injected_no_convergence: AtomicU64,
+    injected_cache_corruptions: AtomicU64,
+    injected_conn_drops: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan drawing from `spec`.
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultPlan {
+            spec,
+            requests: AtomicU64::new(0),
+            injected_latency: AtomicU64::new(0),
+            injected_worker_panics: AtomicU64::new(0),
+            injected_no_convergence: AtomicU64::new(0),
+            injected_cache_corruptions: AtomicU64::new(0),
+            injected_conn_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Draw the decision for the next request. The draw is a pure
+    /// function of `(spec.seed, admission index)`.
+    pub fn next(&self) -> FaultDecision {
+        let index = self.requests.fetch_add(1, Ordering::Relaxed);
+        if self.spec.window.is_some_and(|w| index >= w) {
+            return FaultDecision::default();
+        }
+        let mut rng = SimRng::substream(self.spec.seed, index);
+        let decision = FaultDecision {
+            latency: rng
+                .bernoulli(self.spec.latency_prob)
+                .then_some(self.spec.latency),
+            worker_panic: rng.bernoulli(self.spec.worker_panic_prob),
+            no_convergence: rng.bernoulli(self.spec.no_convergence_prob),
+            cache_corrupt: rng.bernoulli(self.spec.cache_corrupt_prob),
+            conn_drop: rng.bernoulli(self.spec.conn_drop_prob),
+        };
+        if decision.latency.is_some() {
+            self.injected_latency.fetch_add(1, Ordering::Relaxed);
+        }
+        if decision.worker_panic {
+            self.injected_worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+        if decision.no_convergence {
+            self.injected_no_convergence.fetch_add(1, Ordering::Relaxed);
+        }
+        if decision.cache_corrupt {
+            self.injected_cache_corruptions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if decision.conn_drop {
+            self.injected_conn_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        decision
+    }
+
+    /// Requests that have drawn a decision so far.
+    pub fn requests_seen(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Counters of fired faults, in taxonomy order: latency, worker
+    /// panics, forced non-convergence, cache corruptions, connection
+    /// drops.
+    pub fn injected(&self) -> [u64; 5] {
+        [
+            self.injected_latency.load(Ordering::Relaxed),
+            self.injected_worker_panics.load(Ordering::Relaxed),
+            self.injected_no_convergence.load(Ordering::Relaxed),
+            self.injected_cache_corruptions.load(Ordering::Relaxed),
+            self.injected_conn_drops.load(Ordering::Relaxed),
+        ]
+    }
+}
+
+/// Deliberately kill the calling worker thread. Only fault injection
+/// calls this; it exists so the panic lives in exactly one audited place.
+pub fn detonate() -> ! {
+    // lt-lint: allow(LT01, fault injection: killing the worker thread is the tested failure mode itself)
+    panic!("fault injection: worker detonated")
+}
+
+/// Mangle a cache key so the lookup misses. The prefix cannot occur in a
+/// canonical key (those start with a version tag), so a corrupted lookup
+/// can never alias a real entry.
+pub fn corrupt_key(key: &str) -> String {
+    format!("!corrupt!{key}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_in_seed_and_index() {
+        let spec = FaultSpec {
+            seed: 42,
+            latency_prob: 0.5,
+            latency: Duration::from_millis(5),
+            worker_panic_prob: 0.3,
+            no_convergence_prob: 0.3,
+            cache_corrupt_prob: 0.3,
+            conn_drop_prob: 0.3,
+            window: None,
+        };
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        let da: Vec<_> = (0..64).map(|_| a.next()).collect();
+        let db: Vec<_> = (0..64).map(|_| b.next()).collect();
+        assert_eq!(da, db, "same seed, same sequence");
+        assert!(da.iter().any(|d| d.worker_panic));
+        assert!(da.iter().any(|d| !d.worker_panic));
+    }
+
+    #[test]
+    fn window_bounds_the_injection() {
+        let plan = FaultPlan::new(FaultSpec {
+            conn_drop_prob: 1.0,
+            window: Some(3),
+            ..FaultSpec::default()
+        });
+        let fired: Vec<bool> = (0..6).map(|_| plan.next().conn_drop).collect();
+        assert_eq!(fired, [true, true, true, false, false, false]);
+        assert_eq!(plan.injected()[4], 3);
+        assert_eq!(plan.requests_seen(), 6);
+    }
+
+    #[test]
+    fn zero_spec_injects_nothing() {
+        let plan = FaultPlan::new(FaultSpec::default());
+        for _ in 0..32 {
+            assert_eq!(plan.next(), FaultDecision::default());
+        }
+        assert_eq!(plan.injected(), [0; 5]);
+    }
+
+    #[test]
+    fn corrupt_key_never_aliases_a_canonical_key() {
+        let key = "v1;topo=t4x4;solver=auto";
+        let bad = corrupt_key(key);
+        assert_ne!(bad, key);
+        assert!(!bad.starts_with("v1;"));
+    }
+}

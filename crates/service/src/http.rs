@@ -197,6 +197,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Whether to advertise (and perform) connection close.
     pub close: bool,
+    /// Optional `Retry-After` header value in seconds (load shedding).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -207,6 +209,7 @@ impl Response {
             body: body.into_bytes(),
             content_type: "application/json",
             close: false,
+            retry_after: None,
         }
     }
 
@@ -216,15 +219,28 @@ impl Response {
         self
     }
 
+    /// Attach a `Retry-After: {seconds}` header (shed/overload answers).
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
+    }
+
     /// Serialize to the wire.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
+        )?;
+        if let Some(seconds) = self.retry_after {
+            write!(w, "Retry-After: {seconds}\r\n")?;
+        }
+        write!(
+            w,
+            "{}\r\n",
             if self.close {
                 "Connection: close\r\n"
             } else {
@@ -246,6 +262,7 @@ pub fn reason(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -346,6 +363,23 @@ mod tests {
             "{text}"
         );
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let mut out = Vec::new();
+        Response::json(429, "{\"error\":\"overloaded\"}".into())
+            .with_retry_after(2)
+            .with_close()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
     }
 
     #[test]

@@ -17,9 +17,16 @@
 //!   channel, a dynamic self-scheduling batch primitive for sweeps with
 //!   skewed per-item costs, per-request deadlines, graceful drain.
 //! * [`metrics`] — **observability**: per-endpoint request/error counters,
-//!   error counts by kind, and latency tails (p50/p95/p99) built from the
-//!   simulation crate's mergeable `Tally` and P² estimators, served at
-//!   `GET /metrics`.
+//!   error counts by kind, latency tails (p50/p95/p99) built from the
+//!   simulation crate's mergeable `Tally` and P² estimators, and the
+//!   resilience counters (shed requests, breaker transitions, retries,
+//!   responses by fidelity), served at `GET /metrics`.
+//! * [`breaker`] — per-solver-tier **circuit breakers**: a tier that
+//!   keeps failing skips its primary solver and answers from the
+//!   degradation ladder until a half-open probe proves it recovered.
+//! * [`fault`] — seeded, deterministic **fault injection** (latency,
+//!   worker panics, forced solver failure, cache corruption, connection
+//!   drops) for the chaos suite; off (and free) in production.
 //!
 //! [`http`] is the transport (a hand-rolled HTTP/1.1 subset on
 //! `TcpListener` — the service adds no dependencies), [`api`] the request
@@ -57,7 +64,9 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod breaker;
 pub mod cache;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod pool;
@@ -65,7 +74,9 @@ pub mod server;
 pub mod sync;
 
 pub use api::ApiError;
+pub use breaker::{BreakerDecision, BreakerState, CircuitBreaker};
 pub use cache::{CacheStats, SolveCache};
+pub use fault::{FaultDecision, FaultPlan, FaultSpec};
 pub use metrics::{LatencySummary, ServiceMetrics};
 pub use pool::{BatchError, WorkerPool};
 pub use server::{Server, ServerConfig, ServerHandle, ServiceState};

@@ -14,7 +14,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::breaker::BreakerState;
 use lt_core::json::JsonValue;
+use lt_core::Fidelity;
 use lt_desim::{P2Quantile, Tally};
 
 /// Latency shards; more than any sane worker count so scrape merges stay
@@ -25,8 +27,10 @@ const LATENCY_SHARDS: usize = 16;
 pub const ENDPOINTS: [&str; 5] = ["solve", "sweep", "tolerance", "healthz", "metrics"];
 
 /// Error kinds counted by the service: the `LtError::kind` labels plus
-/// the service-level kinds (timeout, bad_request, not_found, internal).
-pub const ERROR_KINDS: [&str; 10] = [
+/// the service-level kinds (timeout, bad_request, overloaded,
+/// worker_lost, not_found, internal). `internal` must stay last: unknown
+/// kinds fold into the final slot.
+pub const ERROR_KINDS: [&str; 12] = [
     "invalid_config",
     "invalid_field",
     "no_convergence",
@@ -35,6 +39,8 @@ pub const ERROR_KINDS: [&str; 10] = [
     "unsupported",
     "timeout",
     "bad_request",
+    "overloaded",
+    "worker_lost",
     "not_found",
     "internal",
 ];
@@ -102,6 +108,14 @@ pub struct ServiceMetrics {
     error_kinds: [AtomicU64; ERROR_KINDS.len()],
     latency: [Mutex<LatencyShard>; LATENCY_SHARDS],
     next_shard: AtomicUsize,
+    /// Requests shed by admission control (answered `429`).
+    shed: AtomicU64,
+    /// Worker-lost retries attempted.
+    retries: AtomicU64,
+    /// Breaker transitions *into* [closed, open, half_open].
+    breaker_transitions: [AtomicU64; 3],
+    /// Successful responses by fidelity, indexed in `Fidelity::ALL` order.
+    responses_by_fidelity: [AtomicU64; Fidelity::ALL.len()],
 }
 
 thread_local! {
@@ -123,7 +137,66 @@ impl ServiceMetrics {
             error_kinds: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| Mutex::new(LatencyShard::new())),
             next_shard: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            breaker_transitions: std::array::from_fn(|_| AtomicU64::new(0)),
+            responses_by_fidelity: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    fn breaker_index(state: BreakerState) -> usize {
+        match state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    fn fidelity_index(fidelity: Fidelity) -> usize {
+        Fidelity::ALL
+            .iter()
+            .position(|f| *f == fidelity)
+            .unwrap_or(0)
+    }
+
+    /// Count one request shed by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Count one worker-lost retry attempt.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker-lost retries attempted so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Count one breaker transition into `state`.
+    pub fn record_breaker_transition(&self, state: BreakerState) {
+        self.breaker_transitions[Self::breaker_index(state)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transitions into `state` so far (across all solver tiers).
+    pub fn breaker_transitions_into(&self, state: BreakerState) -> u64 {
+        self.breaker_transitions[Self::breaker_index(state)].load(Ordering::Relaxed)
+    }
+
+    /// Count one successful response of the given fidelity.
+    pub fn record_fidelity(&self, fidelity: Fidelity) {
+        self.responses_by_fidelity[Self::fidelity_index(fidelity)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful responses of the given fidelity so far.
+    pub fn responses_of_fidelity(&self, fidelity: Fidelity) -> u64 {
+        self.responses_by_fidelity[Self::fidelity_index(fidelity)].load(Ordering::Relaxed)
     }
 
     fn endpoint_index(endpoint: &str) -> Option<usize> {
@@ -235,10 +308,42 @@ impl ServiceMetrics {
             ("p95_ms", JsonValue::from(lat.p95_ms)),
             ("p99_ms", JsonValue::from(lat.p99_ms)),
         ]);
+        let breaker = JsonValue::object(vec![
+            (
+                "closed",
+                JsonValue::from(self.breaker_transitions_into(BreakerState::Closed)),
+            ),
+            (
+                "opened",
+                JsonValue::from(self.breaker_transitions_into(BreakerState::Open)),
+            ),
+            (
+                "half_opened",
+                JsonValue::from(self.breaker_transitions_into(BreakerState::HalfOpen)),
+            ),
+        ]);
+        let by_fidelity = JsonValue::Object(
+            Fidelity::ALL
+                .iter()
+                .map(|f| {
+                    (
+                        f.label().to_string(),
+                        JsonValue::from(self.responses_of_fidelity(*f)),
+                    )
+                })
+                .collect(),
+        );
+        let resilience = JsonValue::object(vec![
+            ("shed", JsonValue::from(self.shed())),
+            ("retries", JsonValue::from(self.retries())),
+            ("breaker_transitions", breaker),
+            ("responses_by_fidelity", by_fidelity),
+        ]);
         let mut fields = vec![
             ("endpoints", endpoints),
             ("errors_by_kind", errors),
             ("latency", latency),
+            ("resilience", resilience),
         ];
         fields.extend(extra);
         JsonValue::object(fields)
@@ -339,6 +444,52 @@ mod tests {
             .get("errors_by_kind")
             .and_then(|e| e.get("timeout"))
             .is_some());
+    }
+
+    #[test]
+    fn resilience_counters_track_and_serialize() {
+        let m = ServiceMetrics::new();
+        m.record_shed();
+        m.record_shed();
+        m.record_retry();
+        m.record_breaker_transition(BreakerState::Open);
+        m.record_breaker_transition(BreakerState::HalfOpen);
+        m.record_breaker_transition(BreakerState::Closed);
+        m.record_fidelity(Fidelity::Exact);
+        m.record_fidelity(Fidelity::Degraded);
+        m.record_fidelity(Fidelity::Degraded);
+        assert_eq!(m.shed(), 2);
+        assert_eq!(m.retries(), 1);
+        assert_eq!(m.breaker_transitions_into(BreakerState::Open), 1);
+        assert_eq!(m.responses_of_fidelity(Fidelity::Degraded), 2);
+        assert_eq!(m.responses_of_fidelity(Fidelity::Bounds), 0);
+
+        let doc = m.to_json(vec![]);
+        let back = lt_core::json::parse(&lt_core::json::encode(&doc)).unwrap();
+        let res = back.get("resilience").expect("resilience object");
+        assert_eq!(res.get("shed").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            res.get("breaker_transitions")
+                .and_then(|b| b.get("opened"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            res.get("responses_by_fidelity")
+                .and_then(|b| b.get("degraded"))
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn overload_error_kinds_are_first_class() {
+        let m = ServiceMetrics::new();
+        m.record_error("solve", "overloaded");
+        m.record_error("solve", "worker_lost");
+        assert_eq!(m.errors_of_kind("overloaded"), 1);
+        assert_eq!(m.errors_of_kind("worker_lost"), 1);
+        assert_eq!(m.errors_of_kind("internal"), 0, "no fold for known kinds");
     }
 
     #[test]

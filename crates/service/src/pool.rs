@@ -14,6 +14,14 @@
 //!   light-load ones) never leaves a worker idle while another drags a
 //!   long static chunk — the same scheduling argument as
 //!   `lt_core::sweep::Schedule::Dynamic`, but on pool threads.
+//! * A job that **panics** kills its worker thread, but not the pool: a
+//!   drop guard armed around the job detects the unwind (via
+//!   `std::thread::panicking`) and respawns a replacement worker, so
+//!   capacity survives poisoned jobs. The dead job's one-shot sender is
+//!   dropped unsent, which the handler observes as a disconnected
+//!   receiver — the signal behind the structured `worker_lost` error and
+//!   the bounded retry in `server.rs`. [`WorkerPool::workers_lost`]
+//!   counts the casualties.
 //! * [`WorkerPool::shutdown`] closes the channel and joins the workers;
 //!   already-queued jobs are drained, not dropped (graceful shutdown).
 //!
@@ -29,13 +37,27 @@ use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// State shared by every worker thread — and needed by the respawn path,
+/// which runs on a dying worker with no `&WorkerPool` in reach.
+struct PoolShared {
+    rx: Mutex<Receiver<Job>>,
+    completed: AtomicU64,
+    workers_lost: AtomicU64,
+    /// Cleared by [`WorkerPool::shutdown`]; a worker dying during
+    /// shutdown is not replaced.
+    open: AtomicBool,
+    /// Handles of respawned replacement workers, joined at shutdown.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
+    next_worker_id: AtomicUsize,
+}
+
 /// A fixed pool of named worker threads.
 pub struct WorkerPool {
     sender: Mutex<Option<Sender<Job>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    shared: Arc<PoolShared>,
     workers: usize,
     submitted: AtomicU64,
-    completed: Arc<AtomicU64>,
 }
 
 /// Why a batch run did not return results.
@@ -47,30 +69,79 @@ pub enum BatchError {
     ShuttingDown,
 }
 
+/// Armed around each job: if the job unwinds, the guard drops while the
+/// thread is panicking and spawns a replacement worker.
+struct RespawnGuard {
+    shared: Arc<PoolShared>,
+    armed: bool,
+}
+
+impl RespawnGuard {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() {
+            return;
+        }
+        self.shared.workers_lost.fetch_add(1, Ordering::Relaxed);
+        if !self.shared.open.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(format!("latencyd-worker-{id}"))
+            .spawn(move || worker_loop(&shared))
+        {
+            lock_ok(&self.shared.respawned).push(handle);
+        }
+        // A failed respawn leaves the pool one worker short; remaining
+        // workers keep draining the shared queue, so no job is stranded.
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>) {
+    loop {
+        // Take the next job; exit when the channel is closed *and*
+        // drained.
+        let job = match lock_ok(&shared.rx).recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let guard = RespawnGuard {
+            shared: Arc::clone(shared),
+            armed: true,
+        };
+        job();
+        guard.disarm();
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 impl WorkerPool {
     /// Spawn `workers` threads (at least 1).
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let completed = Arc::new(AtomicU64::new(0));
+        let shared = Arc::new(PoolShared {
+            rx: Mutex::new(rx),
+            completed: AtomicU64::new(0),
+            workers_lost: AtomicU64::new(0),
+            open: AtomicBool::new(true),
+            respawned: Mutex::new(Vec::new()),
+            next_worker_id: AtomicUsize::new(workers),
+        });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let rx = Arc::clone(&rx);
-            let completed = Arc::clone(&completed);
+            let shared = Arc::clone(&shared);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("latencyd-worker-{i}"))
-                    .spawn(move || loop {
-                        // Take the next job; exit when the channel is
-                        // closed *and* drained.
-                        let job = match lock_ok(&rx).recv() {
-                            Ok(job) => job,
-                            Err(_) => break,
-                        };
-                        job();
-                        completed.fetch_add(1, Ordering::Relaxed);
-                    })
+                    .spawn(move || worker_loop(&shared))
                     // lt-lint: allow(LT01, startup fail-fast: a pool that cannot spawn its workers cannot serve at all)
                     .expect("spawn worker thread"),
             );
@@ -78,9 +149,9 @@ impl WorkerPool {
         WorkerPool {
             sender: Mutex::new(Some(tx)),
             handles: Mutex::new(handles),
+            shared,
             workers,
             submitted: AtomicU64::new(0),
-            completed,
         }
     }
 
@@ -96,7 +167,20 @@ impl WorkerPool {
 
     /// Jobs fully executed so far.
     pub fn jobs_completed(&self) -> u64 {
-        self.completed.load(Ordering::Relaxed)
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads killed by panicking jobs (each was replaced while
+    /// the pool was open).
+    pub fn workers_lost(&self) -> u64 {
+        self.shared.workers_lost.load(Ordering::Relaxed)
+    }
+
+    /// Whether the pool still accepts work ([`shutdown`] not yet called).
+    ///
+    /// [`shutdown`]: WorkerPool::shutdown
+    pub fn is_open(&self) -> bool {
+        self.shared.open.load(Ordering::SeqCst)
     }
 
     /// Queue a job. Returns `false` (job not queued) after [`shutdown`].
@@ -115,7 +199,9 @@ impl WorkerPool {
 
     /// Run `f` on the pool and get a one-shot receiver for its result.
     /// If the caller stops listening (deadline), the worker's send fails
-    /// silently and the result is discarded.
+    /// silently and the result is discarded. If the job panics, the
+    /// sender drops unsent and the receiver reports disconnection — the
+    /// caller's signal that the worker was lost mid-job.
     pub fn execute<T, F>(&self, f: F) -> Option<Receiver<T>>
     where
         T: Send + 'static,
@@ -123,6 +209,7 @@ impl WorkerPool {
     {
         let (tx, rx) = channel();
         if self.submit(move || {
+            // lt-lint: allow(LT07, best effort: a send failure means the handler gave up on the deadline; the result is discarded by design)
             let _ = tx.send(f());
         }) {
             Some(rx)
@@ -169,6 +256,7 @@ impl WorkerPool {
         fn finish_task<T, F>(state: &BatchState<T, F>) {
             if state.tasks_left.fetch_sub(1, Ordering::AcqRel) == 1 {
                 if let Some(tx) = lock_ok(&state.done_tx).take() {
+                    // lt-lint: allow(LT07, best effort: the batch caller may have timed out and dropped the done receiver)
                     let _ = tx.send(());
                 }
             }
@@ -226,13 +314,27 @@ impl WorkerPool {
         }
     }
 
-    /// Close the queue and join the workers. Queued jobs are drained first
-    /// (graceful). Idempotent.
+    /// Close the queue and join the workers — original and respawned.
+    /// Queued jobs are drained first (graceful). Idempotent.
     pub fn shutdown(&self) {
+        self.shared.open.store(false, Ordering::SeqCst);
         lock_ok(&self.sender).take();
         let handles: Vec<_> = lock_ok(&self.handles).drain(..).collect();
         for h in handles {
+            // lt-lint: allow(LT07, best effort: a worker that already died panicking has nothing left to report at join)
             let _ = h.join();
+        }
+        // Replacement workers spawned by RespawnGuard; a drain during the
+        // joins above could have added more, so loop until empty.
+        loop {
+            let respawned: Vec<_> = lock_ok(&self.shared.respawned).drain(..).collect();
+            if respawned.is_empty() {
+                break;
+            }
+            for h in respawned {
+                // lt-lint: allow(LT07, best effort: a worker that already died panicking has nothing left to report at join)
+                let _ = h.join();
+            }
         }
     }
 }
@@ -313,6 +415,7 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 20, "graceful drain");
         assert!(!pool.submit(|| {}), "no work accepted after shutdown");
         assert!(pool.execute(|| 1).is_none());
+        assert!(!pool.is_open());
     }
 
     #[test]
@@ -344,5 +447,43 @@ mod tests {
             "jobs must overlap: {:?}",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn panicking_job_disconnects_its_receiver_and_respawns_the_worker() {
+        let pool = WorkerPool::new(1);
+        let rx = pool
+            .execute(|| -> u32 { crate::fault::detonate() })
+            .unwrap();
+        // The sender dropped unsent: the handler-side signal of a lost
+        // worker.
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+        // The single worker was replaced: the pool still executes jobs.
+        let rx = pool.execute(|| 7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        assert_eq!(pool.workers_lost(), 1);
+        assert!(pool.is_open());
+    }
+
+    #[test]
+    fn pool_survives_repeated_worker_deaths() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5u32 {
+            let rx = pool
+                .execute(|| -> u32 { crate::fault::detonate() })
+                .unwrap();
+            assert!(rx.recv_timeout(Duration::from_secs(5)).is_err());
+            let rx = pool.execute(move || round * 10).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), round * 10);
+        }
+        // Only after shutdown (which joins every worker, original and
+        // respawned) is the loss counter guaranteed final: the surviving
+        // worker can answer the follow-up job before a dying worker's
+        // drop guard has finished counting itself.
+        pool.shutdown();
+        assert_eq!(pool.workers_lost(), 5);
     }
 }

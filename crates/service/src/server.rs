@@ -13,23 +13,50 @@
 //! answers a structured `504 {"error":{"kind":"timeout",...}}` when it
 //! expires; a queued job that finds its deadline already past returns
 //! without solving, so expired work never occupies a worker.
+//!
+//! Overload and failure handling (the resilience layer):
+//!
+//! * **Admission control** — at most [`ServerConfig::max_queue_depth`]
+//!   POST requests are in flight at once; excess requests are shed with
+//!   `429 {"error":{"kind":"overloaded",...}}` plus `Retry-After`, so a
+//!   burst degrades into fast refusals instead of an unbounded queue of
+//!   slow timeouts.
+//! * **Circuit breakers** — one [`CircuitBreaker`] per solver tier. A
+//!   tier that keeps failing (consecutive `no_convergence`/timeouts)
+//!   trips open and its requests skip straight to the degradation ladder
+//!   ([`lt_core::solve_degraded`]), answering with `"fidelity":
+//!   "degraded"`/`"bounds"` instead of burning workers on doomed solves.
+//!   After a cooldown one probe retries the primary; success re-closes.
+//! * **Worker-loss recovery** — a panicking solve kills its worker (the
+//!   pool respawns it) and the handler sees a disconnected result
+//!   channel. The request is retried with jittered backoff up to
+//!   [`ServerConfig::retry_max`] times, then answered with a structured
+//!   `500 {"error":{"kind":"worker_lost",...}}` — never by waiting out
+//!   the full deadline.
+//! * **Fault injection** — [`ServerConfig::fault_plan`] (None in
+//!   production) deterministically injects latency, worker panics,
+//!   forced solver failures, cache corruption, and connection drops; the
+//!   chaos suite drives it end-to-end over loopback HTTP.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lt_core::analysis::solve_with;
+use lt_core::analysis::{solve_degraded, DegradePolicy, SolverChoice};
 use lt_core::json::{self, JsonValue};
 use lt_core::metrics::PerformanceReport;
 use lt_core::tolerance::{tolerance_index, ToleranceReport};
-use lt_core::wire::{canonical_solve_key, tolerance_to_json};
+use lt_core::wire::{canonical_solve_key, degraded_solve_key, tolerance_to_json};
 use lt_core::LtError;
+use lt_desim::SimRng;
 
 use crate::api::{self, ApiError};
+use crate::breaker::{BreakerDecision, CircuitBreaker};
 use crate::cache::SolveCache;
+use crate::fault::{self, FaultDecision, FaultPlan};
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::metrics::ServiceMetrics;
 use crate::pool::{BatchError, WorkerPool};
@@ -47,6 +74,18 @@ pub struct ServerConfig {
     pub default_timeout_ms: u64,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Most POST requests in flight before admission control sheds with
+    /// `429` (solve/sweep/tolerance; GET endpoints are never shed).
+    pub max_queue_depth: usize,
+    /// Consecutive primary-solver failures that trip a tier's breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before probing, ms.
+    pub breaker_cooldown_ms: u64,
+    /// Worker-lost retries per request (0 disables retrying).
+    pub retry_max: u32,
+    /// Deterministic fault injection; `None` (production) injects
+    /// nothing and costs one branch per request.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +99,11 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             default_timeout_ms: 30_000,
             max_body_bytes: 1 << 20,
+            max_queue_depth: 256,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
+            retry_max: 2,
+            fault_plan: None,
         }
     }
 }
@@ -70,17 +114,47 @@ const MAX_TIMEOUT_MS: u64 = 600_000;
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 /// How long shutdown waits for in-flight connections to finish.
 const DRAIN_WAIT: Duration = Duration::from_secs(5);
+/// `Retry-After` seconds advertised on shed requests.
+const RETRY_AFTER_SECS: u64 = 1;
+/// Base of the jittered worker-lost retry backoff (doubled per attempt).
+const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(4);
 
-/// Shared service state: pool, cache, metrics, lifecycle flags.
+/// The solver tiers, one breaker each, in [`SolverChoice`] order.
+const BREAKER_TIERS: [SolverChoice; 5] = [
+    SolverChoice::Auto,
+    SolverChoice::SymmetricAmva,
+    SolverChoice::Amva,
+    SolverChoice::Linearizer,
+    SolverChoice::Exact,
+];
+
+fn breaker_index(choice: SolverChoice) -> usize {
+    BREAKER_TIERS.iter().position(|c| *c == choice).unwrap_or(0)
+}
+
+/// Shared service state: pool, cache, metrics, breakers, lifecycle flags.
 pub struct ServiceState {
     pool: WorkerPool,
     cache: SolveCache<Arc<PerformanceReport>>,
     /// Request/error/latency counters (public for tests and the binary).
     pub metrics: ServiceMetrics,
+    breakers: [CircuitBreaker; BREAKER_TIERS.len()],
+    fault: Option<Arc<FaultPlan>>,
     shutting_down: AtomicBool,
     active_connections: AtomicUsize,
+    active_requests: AtomicUsize,
+    backoff_nonce: AtomicU64,
     default_timeout_ms: u64,
     max_body_bytes: usize,
+    max_queue_depth: usize,
+    retry_max: u32,
+}
+
+impl ServiceState {
+    /// Current state of the breaker guarding `choice`'s tier.
+    pub fn breaker_state(&self, choice: SolverChoice) -> crate::breaker::BreakerState {
+        self.breakers[breaker_index(choice)].state()
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -102,6 +176,7 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let cooldown = Duration::from_millis(cfg.breaker_cooldown_ms);
         Ok(Server {
             listener,
             local_addr,
@@ -109,10 +184,18 @@ impl Server {
                 pool: WorkerPool::new(cfg.workers),
                 cache: SolveCache::new(cfg.cache_capacity),
                 metrics: ServiceMetrics::new(),
+                breakers: std::array::from_fn(|_| {
+                    CircuitBreaker::new(cfg.breaker_threshold, cooldown)
+                }),
+                fault: cfg.fault_plan,
                 shutting_down: AtomicBool::new(false),
                 active_connections: AtomicUsize::new(0),
+                active_requests: AtomicUsize::new(0),
+                backoff_nonce: AtomicU64::new(0),
                 default_timeout_ms: cfg.default_timeout_ms.min(MAX_TIMEOUT_MS),
                 max_body_bytes: cfg.max_body_bytes,
+                max_queue_depth: cfg.max_queue_depth.max(1),
+                retry_max: cfg.retry_max,
             }),
         })
     }
@@ -132,12 +215,17 @@ impl Server {
             let Ok(stream) = conn else { continue };
             let state = Arc::clone(&self.state);
             self.state.active_connections.fetch_add(1, Ordering::SeqCst);
-            let _ = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("latencyd-conn".into())
                 .spawn(move || {
                     handle_connection(&state, stream);
                     state.active_connections.fetch_sub(1, Ordering::SeqCst);
                 });
+            if spawned.is_err() {
+                // The handler never ran, so its decrement never will:
+                // undo the increment or shutdown waits the full drain.
+                self.state.active_connections.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
 
@@ -176,8 +264,10 @@ impl ServerHandle {
     pub fn shutdown(mut self) -> String {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         // Poke the blocking accept() so the loop observes the flag.
+        // lt-lint: allow(LT07, best effort: if the poke fails the accept loop exits on its next wakeup anyway)
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            // lt-lint: allow(LT07, best effort: a panicked accept thread has nothing left to report at join)
             let _ = t.join();
         }
         let deadline = Instant::now() + DRAIN_WAIT;
@@ -198,7 +288,9 @@ impl ServerHandle {
 }
 
 fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
+    // lt-lint: allow(LT07, best effort: a socket that cannot take options still serves; reads just block longer)
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    // lt-lint: allow(LT07, best effort: without nodelay the responses are merely slower, not wrong)
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -217,15 +309,26 @@ fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
                     kind: "bad_request".into(),
                     message,
                 };
+                // lt-lint: allow(LT07, best effort: the connection closes right here either way)
                 let _ = Response::json(err.status, err.body())
                     .with_close()
                     .write_to(&mut writer);
                 return;
             }
         };
+        // One fault decision per request, drawn from the seeded plan
+        // (all-zero when no plan is configured).
+        let fd = state.fault.as_ref().map(|f| f.next()).unwrap_or_default();
+        if fd.conn_drop {
+            // Injected connection drop: close without answering.
+            return;
+        }
+        if let Some(delay) = fd.latency {
+            std::thread::sleep(delay);
+        }
         let keep_alive = req.keep_alive() && !state.shutting_down.load(Ordering::SeqCst);
         let started = Instant::now();
-        let mut resp = dispatch(state, &req);
+        let mut resp = dispatch(state, &req, fd);
         state.metrics.record_latency(started.elapsed());
         if !keep_alive {
             resp = resp.with_close();
@@ -239,8 +342,31 @@ fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
     }
 }
 
+/// RAII admission slot: holds one unit of `active_requests`.
+struct AdmissionSlot<'a> {
+    state: &'a ServiceState,
+}
+
+impl Drop for AdmissionSlot<'_> {
+    fn drop(&mut self) {
+        self.state.active_requests.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Claim an in-flight slot, or report how oversubscribed the server is.
+fn admit<'a>(state: &'a ServiceState) -> Result<AdmissionSlot<'a>, usize> {
+    let in_flight = state.active_requests.fetch_add(1, Ordering::SeqCst) + 1;
+    let slot = AdmissionSlot { state };
+    if in_flight > state.max_queue_depth {
+        drop(slot);
+        Err(in_flight)
+    } else {
+        Ok(slot)
+    }
+}
+
 /// Route one request. Also owns the request/error accounting.
-fn dispatch(state: &Arc<ServiceState>, req: &Request) -> Response {
+fn dispatch(state: &Arc<ServiceState>, req: &Request, fd: FaultDecision) -> Response {
     let endpoint = match req.path.as_str() {
         "/healthz" => "healthz",
         "/metrics" => "metrics",
@@ -272,10 +398,26 @@ fn dispatch(state: &Arc<ServiceState>, req: &Request) -> Response {
         };
         return Response::json(405, err.body());
     }
+    // Admission control: POST endpoints queue real solver work, so they
+    // are bounded; the GET endpoints stay answerable under overload (you
+    // can always ask a drowning server how it is doing).
+    let _slot = if want_post {
+        match admit(state) {
+            Ok(slot) => Some(slot),
+            Err(in_flight) => {
+                state.metrics.record_shed();
+                state.metrics.record_error(endpoint, "overloaded");
+                let err = ApiError::overloaded(in_flight, state.max_queue_depth);
+                return Response::json(err.status, err.body()).with_retry_after(RETRY_AFTER_SECS);
+            }
+        }
+    } else {
+        None
+    };
     let result = match endpoint {
         "healthz" => Ok(handle_healthz(state)),
         "metrics" => Ok(handle_metrics(state)),
-        "solve" => handle_solve(state, &req.body),
+        "solve" => handle_solve(state, &req.body, fd),
         "sweep" => handle_sweep(state, &req.body),
         "tolerance" => handle_tolerance(state, &req.body),
         _ => {
@@ -324,10 +466,34 @@ fn handle_metrics(state: &ServiceState) -> Response {
         ("workers", state.pool.worker_count().into()),
         ("jobs_submitted", state.pool.jobs_submitted().into()),
         ("jobs_completed", state.pool.jobs_completed().into()),
+        ("workers_lost", state.pool.workers_lost().into()),
     ]);
-    let doc = state
-        .metrics
-        .to_json(vec![("cache", cache), ("pool", pool)]);
+    let breakers = JsonValue::Object(
+        BREAKER_TIERS
+            .iter()
+            .map(|&tier| {
+                (
+                    lt_core::wire::solver_choice_label(tier).to_string(),
+                    JsonValue::from(state.breakers[breaker_index(tier)].state().label()),
+                )
+            })
+            .collect(),
+    );
+    let mut extra = vec![("cache", cache), ("pool", pool), ("breakers", breakers)];
+    let fault_doc;
+    if let Some(plan) = &state.fault {
+        let [latency, panics, no_conv, corrupt, drops] = plan.injected();
+        fault_doc = JsonValue::object(vec![
+            ("requests_seen", plan.requests_seen().into()),
+            ("injected_latency", latency.into()),
+            ("injected_worker_panics", panics.into()),
+            ("injected_no_convergence", no_conv.into()),
+            ("injected_cache_corruptions", corrupt.into()),
+            ("injected_conn_drops", drops.into()),
+        ]);
+        extra.push(("fault_injection", fault_doc));
+    }
+    let doc = state.metrics.to_json(extra);
     Response::json(200, json::encode(&doc))
 }
 
@@ -349,35 +515,184 @@ where
     state.pool.execute(move || f(shared))
 }
 
-fn handle_solve(state: &Arc<ServiceState>, body: &[u8]) -> Result<Response, ApiError> {
-    let req = api::parse_solve(body)?;
-    let key = canonical_solve_key(&req.config, req.solver);
-    if let Some(report) = state.cache.get(&key) {
-        return Ok(Response::json(200, api::solve_response(true, &report)));
-    }
-    let (deadline, ms) = deadline_for(state, req.timeout_ms);
-    let job = {
-        let cache_key = key;
-        let cfg = req.config;
-        let solver = req.solver;
-        move |state: Arc<ServiceState>| -> Option<Result<Arc<PerformanceReport>, LtError>> {
-            if Instant::now() >= deadline {
-                return None;
-            }
-            let result = solve_with(&cfg, solver).map(Arc::new);
-            if let Ok(report) = &result {
-                state.cache.insert(cache_key, Arc::clone(report));
-            }
-            Some(result)
+/// Jittered backoff before worker-lost retry `attempt`, bounded so the
+/// sleep never outlives the request deadline. Deterministic given the
+/// server's nonce sequence (the chaos suite relies on no wall-clock
+/// randomness anywhere in the retry path).
+fn retry_backoff(state: &ServiceState, attempt: u32, deadline: Instant) {
+    let nonce = state.backoff_nonce.fetch_add(1, Ordering::Relaxed);
+    // Stream tag: the ASCII bytes of "ltretry".
+    let jitter = SimRng::substream(0x006c_7472_6574_7279, nonce).uniform01();
+    let base = RETRY_BACKOFF_BASE * 2u32.saturating_pow(attempt);
+    let wait = base.mul_f64(0.5 + jitter);
+    let left = deadline.saturating_duration_since(Instant::now());
+    std::thread::sleep(wait.min(left));
+}
+
+/// What the solver-side of a solve attempt reported, for breaker
+/// accounting.
+enum PrimaryOutcome {
+    /// Full-fidelity answer: the tier works.
+    Success,
+    /// Degraded/bounds answer, `no_convergence`, or timeout: the tier is
+    /// struggling.
+    Failure,
+    /// The attempt never judged the tier (bad config, worker lost,
+    /// shutdown).
+    Neutral,
+}
+
+/// Feed one attempt's outcome to the tier's breaker and count any state
+/// transition. Only called when the breaker admitted the primary
+/// (`Allow` or `Probe`).
+fn record_primary_outcome(state: &ServiceState, tier: usize, outcome: PrimaryOutcome) {
+    let breaker = &state.breakers[tier];
+    let transition = match outcome {
+        PrimaryOutcome::Success => breaker.on_success(),
+        PrimaryOutcome::Failure => breaker.on_failure(),
+        PrimaryOutcome::Neutral => {
+            breaker.abort_probe();
+            None
         }
     };
-    let rx = run_on_pool(state, job).ok_or_else(service_unavailable)?;
-    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
-        Ok(Some(Ok(report))) => Ok(Response::json(200, api::solve_response(false, &report))),
-        Ok(Some(Err(e))) => Err(e.into()),
-        Ok(None) => Err(ApiError::timeout(ms)),
-        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(ApiError::timeout(ms)),
-        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(service_unavailable()),
+    if let Some(s) = transition {
+        state.metrics.record_breaker_transition(s);
+    }
+}
+
+fn handle_solve(
+    state: &Arc<ServiceState>,
+    body: &[u8],
+    fd: FaultDecision,
+) -> Result<Response, ApiError> {
+    let req = api::parse_solve(body)?;
+    let key = canonical_solve_key(&req.config, req.solver);
+    let degraded_key = degraded_solve_key(&req.config, req.solver);
+    // A full-fidelity cached answer satisfies the request without
+    // touching the solver, so it bypasses the breaker entirely. An
+    // injected cache corruption mangles the key into a guaranteed miss.
+    if !fd.cache_corrupt {
+        if let Some(report) = state.cache.get(&key) {
+            state.metrics.record_fidelity(report.fidelity);
+            return Ok(Response::json(200, api::solve_response(true, &report)));
+        }
+    }
+
+    let tier = breaker_index(req.solver);
+    let (decision, transition) = state.breakers[tier].admit();
+    if let Some(s) = transition {
+        state.metrics.record_breaker_transition(s);
+    }
+    let breaker_skip = decision == BreakerDecision::SkipPrimary;
+    // Forced non-convergence (fault injection) sends the solve down the
+    // ladder exactly as a real primary failure would.
+    let skip_primary = breaker_skip || fd.no_convergence;
+    if breaker_skip && !fd.cache_corrupt {
+        // While the tier is broken, identical requests are answered from
+        // the degraded cache line instead of re-running the ladder.
+        if let Some(report) = state.cache.get(&degraded_key) {
+            state.metrics.record_fidelity(report.fidelity);
+            return Ok(Response::json(200, api::solve_response(true, &report)));
+        }
+    }
+    let judges_tier = !breaker_skip;
+
+    let (deadline, ms) = deadline_for(state, req.timeout_ms);
+    let mut attempt: u32 = 0;
+    loop {
+        let job = {
+            let primary_key = key.clone();
+            let fallback_key = degraded_key.clone();
+            let cfg = req.config.clone();
+            let solver = req.solver;
+            // Only the first attempt detonates: the injected fault is
+            // "a worker dies mid-job", not "this request is cursed".
+            let detonate = fd.worker_panic && attempt == 0;
+            let cacheable = !fd.cache_corrupt;
+            move |state: Arc<ServiceState>| -> Option<Result<Arc<PerformanceReport>, LtError>> {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                if detonate {
+                    fault::detonate();
+                }
+                let policy = DegradePolicy {
+                    skip_primary,
+                    remaining: Some(deadline.saturating_duration_since(Instant::now())),
+                };
+                let result = solve_degraded(&cfg, solver, policy).map(Arc::new);
+                if let (Ok(report), true) = (&result, cacheable) {
+                    // Full-fidelity answers go under the canonical key;
+                    // anything degraded is cached separately so it can
+                    // never masquerade as the real solution.
+                    if report.fidelity.is_full() {
+                        state.cache.insert(primary_key, Arc::clone(report));
+                    } else {
+                        state.cache.insert(fallback_key, Arc::clone(report));
+                    }
+                }
+                Some(result)
+            }
+        };
+        let Some(rx) = run_on_pool(state, job) else {
+            return Err(service_unavailable());
+        };
+        match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(Some(Ok(report))) => {
+                if judges_tier {
+                    let outcome = if report.fidelity.is_full() && !fd.no_convergence {
+                        PrimaryOutcome::Success
+                    } else {
+                        PrimaryOutcome::Failure
+                    };
+                    record_primary_outcome(state, tier, outcome);
+                }
+                state.metrics.record_fidelity(report.fidelity);
+                return Ok(Response::json(200, api::solve_response(false, &report)));
+            }
+            Ok(Some(Err(e))) => {
+                if judges_tier {
+                    let outcome = if e.is_client_error() {
+                        PrimaryOutcome::Neutral
+                    } else {
+                        PrimaryOutcome::Failure
+                    };
+                    record_primary_outcome(state, tier, outcome);
+                }
+                return Err(e.into());
+            }
+            Ok(None) | Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if judges_tier {
+                    record_primary_outcome(state, tier, PrimaryOutcome::Failure);
+                }
+                return Err(ApiError::timeout(ms));
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // The worker died mid-job (its one-shot sender dropped
+                // unsent) — or the pool is closing underneath us.
+                if state.shutting_down.load(Ordering::SeqCst) || !state.pool.is_open() {
+                    if judges_tier {
+                        record_primary_outcome(state, tier, PrimaryOutcome::Neutral);
+                    }
+                    return Err(service_unavailable());
+                }
+                if attempt >= state.retry_max {
+                    if judges_tier {
+                        record_primary_outcome(state, tier, PrimaryOutcome::Neutral);
+                    }
+                    return Err(ApiError::worker_lost(attempt + 1));
+                }
+                state.metrics.record_retry();
+                retry_backoff(state, attempt, deadline);
+                if Instant::now() >= deadline {
+                    if judges_tier {
+                        record_primary_outcome(state, tier, PrimaryOutcome::Failure);
+                    }
+                    return Err(ApiError::timeout(ms));
+                }
+                attempt += 1;
+            }
+        }
     }
 }
 
@@ -394,11 +709,23 @@ fn handle_sweep(state: &Arc<ServiceState>, body: &[u8]) -> Result<Response, ApiE
             let cfg = &configs[i];
             let key = canonical_solve_key(cfg, solver);
             if let Some(report) = shared.cache.get(&key) {
+                shared.metrics.record_fidelity(report.fidelity);
                 return Ok((true, report));
             }
-            match solve_with(cfg, solver).map(Arc::new) {
+            let policy = DegradePolicy {
+                skip_primary: false,
+                remaining: Some(deadline.saturating_duration_since(Instant::now())),
+            };
+            match solve_degraded(cfg, solver, policy).map(Arc::new) {
                 Ok(report) => {
-                    shared.cache.insert(key, Arc::clone(&report));
+                    if report.fidelity.is_full() {
+                        shared.cache.insert(key, Arc::clone(&report));
+                    } else {
+                        shared
+                            .cache
+                            .insert(degraded_solve_key(cfg, solver), Arc::clone(&report));
+                    }
+                    shared.metrics.record_fidelity(report.fidelity);
                     Ok((false, report))
                 }
                 Err(e) => Err(ApiError::from(e)),
@@ -437,7 +764,13 @@ fn handle_tolerance(state: &Arc<ServiceState>, body: &[u8]) -> Result<Response, 
         Ok(Some(Err(e))) => Err(e.into()),
         Ok(None) => Err(ApiError::timeout(ms)),
         Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(ApiError::timeout(ms)),
-        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(service_unavailable()),
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            if state.shutting_down.load(Ordering::SeqCst) || !state.pool.is_open() {
+                Err(service_unavailable())
+            } else {
+                Err(ApiError::worker_lost(1))
+            }
+        }
     }
 }
 
@@ -469,6 +802,11 @@ mod tests {
             cache_capacity: 64,
             default_timeout_ms: 10_000,
             max_body_bytes: 1 << 20,
+            max_queue_depth: 64,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
+            retry_max: 2,
+            fault_plan: None,
         })
         .unwrap()
         .spawn()
@@ -513,5 +851,61 @@ mod tests {
         let h = test_server();
         let summary = h.shutdown();
         assert!(summary.contains("latencyd shutdown"), "{summary}");
+    }
+
+    #[test]
+    fn metrics_expose_breaker_states_and_pool_losses() {
+        let h = test_server();
+        let resp = request(
+            h.addr(),
+            "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.contains("\"breakers\""), "{resp}");
+        assert!(resp.contains("\"auto\":\"closed\""), "{resp}");
+        assert!(resp.contains("\"workers_lost\":0"), "{resp}");
+        assert!(resp.contains("\"resilience\""), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_retry_after() {
+        // A 1-deep admission queue plus a held slot: the next POST sheds.
+        let h = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_capacity: 0,
+            default_timeout_ms: 5_000,
+            max_body_bytes: 1 << 20,
+            max_queue_depth: 1,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
+            retry_max: 0,
+            fault_plan: None,
+        })
+        .unwrap()
+        .spawn();
+        let state = h.state();
+        // Occupy the only slot directly; the real handler path holds it
+        // exactly like this while a solve is in flight.
+        let slot = admit(state).unwrap();
+        let body = r#"{"config":{}}"#;
+        let resp = request(
+            h.addr(),
+            &format!(
+                "POST /v1/solve HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(
+            resp.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{resp}"
+        );
+        assert!(resp.contains("Retry-After: 1\r\n"), "{resp}");
+        assert!(resp.contains("\"kind\":\"overloaded\""), "{resp}");
+        assert_eq!(state.metrics.shed(), 1);
+        assert_eq!(state.metrics.errors_of_kind("overloaded"), 1);
+        drop(slot);
+        h.shutdown();
     }
 }

@@ -205,6 +205,41 @@ fn amva_tracks_exact_on_small_instances() {
     }
 }
 
+/// The degradation ladder's last rung is honest: on small instances the
+/// M/M/S isolation bounds bracket the exact solution, and the bounds
+/// report ([`lt_core::analysis::bounds_report`] — what a fully degraded
+/// solve answers with) sits inside that bracket, tagged `bounds`.
+#[test]
+fn bounds_fallback_brackets_exact_utilization() {
+    use lt_core::analysis::bounds_report;
+    use lt_core::bounds::mms_isolation_bounds;
+    use lt_core::metrics::Fidelity;
+    let mut gen = ConfigGen::new(0xB0D5);
+    for case in 0..24 {
+        let cfg = SystemConfig::paper_default()
+            .with_topology(Topology::torus(2))
+            .with_n_threads(gen.int_in(1, 4))
+            .with_p_remote(gen.in_range(0.0, 1.0))
+            .with_runlength(gen.in_range(0.5, 4.0));
+        let exact = solve_with(&cfg, SolverChoice::Exact).unwrap().u_p;
+        let b = mms_isolation_bounds(&cfg).unwrap();
+        assert!(
+            b.lower - 1e-9 <= exact && exact <= b.upper + 1e-9,
+            "case #{case} {cfg:?}: exact U_p {exact} escapes bracket [{}, {}]",
+            b.lower,
+            b.upper
+        );
+        let rep = bounds_report(&cfg).unwrap();
+        assert_eq!(rep.fidelity, Fidelity::Bounds, "case #{case}");
+        assert!(
+            rep.u_p >= b.lower - 1e-9 && rep.u_p <= b.upper.min(1.0) + 1e-9,
+            "case #{case} {cfg:?}: bounds answer {} outside its own bracket",
+            rep.u_p
+        );
+        assert!(rep.u_p > 0.0 && rep.u_p <= 1.0 + 1e-9, "case #{case}");
+    }
+}
+
 /// Hot-spot patterns (asymmetric) still satisfy the global invariants
 /// through the general solver path.
 #[test]

@@ -63,6 +63,7 @@ fn start(workers: usize) -> lt_service::ServerHandle {
         cache_capacity: 256,
         default_timeout_ms: 60_000,
         max_body_bytes: 1 << 20,
+        ..ServerConfig::default()
     })
     .expect("bind")
     .spawn()
@@ -146,6 +147,35 @@ fn concurrent_solves_cache_hits_and_metrics() {
             .unwrap()
             >= 65
     );
+
+    // Resilience counters: healthy traffic sheds nothing, retries
+    // nothing, trips no breakers, and every response carries a
+    // full-fidelity tag.
+    let res = m.get("resilience").expect("resilience object");
+    assert_eq!(res.get("shed").and_then(|x| x.as_u64()), Some(0));
+    assert_eq!(res.get("retries").and_then(|x| x.as_u64()), Some(0));
+    let transitions = res.get("breaker_transitions").unwrap();
+    assert_eq!(
+        transitions.get("opened").and_then(|x| x.as_u64()),
+        Some(0),
+        "no breaker should trip under healthy load"
+    );
+    let by_fid = res.get("responses_by_fidelity").unwrap();
+    let full: u64 = ["exact", "approximate"]
+        .iter()
+        .map(|k| by_fid.get(k).and_then(|x| x.as_u64()).unwrap())
+        .sum();
+    assert!(full >= 65, "expected >= 65 full-fidelity responses");
+    for k in ["bounds", "degraded"] {
+        assert_eq!(
+            by_fid.get(k).and_then(|x| x.as_u64()),
+            Some(0),
+            "healthy traffic must not degrade ({k})"
+        );
+    }
+    for (tier, v) in m.get("breakers").unwrap().as_object().unwrap() {
+        assert_eq!(v.as_str(), Some("closed"), "breaker {tier} not closed");
+    }
 
     let summary = handle.shutdown();
     assert!(summary.contains("hits="), "{summary}");

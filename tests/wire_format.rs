@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use lt_core::json;
-use lt_core::metrics::{PerformanceReport, SubsystemUtilization};
+use lt_core::metrics::{Fidelity, PerformanceReport, SubsystemUtilization};
 use lt_core::mva::SolverDiagnostics;
 use lt_core::prelude::*;
 use lt_core::wire;
@@ -61,6 +61,7 @@ fn sample_report() -> PerformanceReport {
         },
         u_p_per_class: vec![0.84375, 0.84375],
         iterations: 17,
+        fidelity: Fidelity::Approximate,
         diagnostics: SolverDiagnostics {
             solver: "linearizer",
             iterations: 17,
@@ -81,7 +82,7 @@ fn golden_report_bytes_and_round_trip() {
     let encoded = wire::report_to_json(&rep).encode();
     assert_eq!(
         encoded,
-        r#"{"u_p":0.84375,"lambda_proc":0.0703125,"lambda_net":0.028125,"s_obs":21.5,"l_obs":13.25,"l_obs_local":11,"l_obs_remote":34.5,"network_time_per_cycle":0.6,"d_avg":2.5,"system_throughput":1.125,"utilization":{"processor":0.928125,"memory":0.7031,"in_switch":0.140625,"out_switch":0.28125},"u_p_per_class":[0.84375,0.84375],"iterations":17,"diagnostics":{"solver":"linearizer","iterations":17,"converged":true,"final_residual":0.00000000035,"residual_trace":[0.125,0.015625,0.00000000035],"damping_trace":[1,1,0.5],"max_residual_index":3,"extrapolations":1,"wall_time_us":420}}"#
+        r#"{"u_p":0.84375,"lambda_proc":0.0703125,"lambda_net":0.028125,"s_obs":21.5,"l_obs":13.25,"l_obs_local":11,"l_obs_remote":34.5,"network_time_per_cycle":0.6,"d_avg":2.5,"system_throughput":1.125,"utilization":{"processor":0.928125,"memory":0.7031,"in_switch":0.140625,"out_switch":0.28125},"u_p_per_class":[0.84375,0.84375],"iterations":17,"fidelity":"approximate","diagnostics":{"solver":"linearizer","iterations":17,"converged":true,"final_residual":0.00000000035,"residual_trace":[0.125,0.015625,0.00000000035],"damping_trace":[1,1,0.5],"max_residual_index":3,"extrapolations":1,"wall_time_us":420}}"#
     );
     let back = wire::report_from_json(&json::parse(&encoded).unwrap()).unwrap();
     // f64 fields round-trip to identical bits (shortest-round-trip
@@ -91,6 +92,7 @@ fn golden_report_bytes_and_round_trip() {
     assert_eq!(back.utilization, rep.utilization);
     assert_eq!(back.u_p_per_class, rep.u_p_per_class);
     assert_eq!(back.iterations, rep.iterations);
+    assert_eq!(back.fidelity, Fidelity::Approximate);
     assert_eq!(back.diagnostics.solver, "linearizer");
     assert_eq!(back.diagnostics.converged, rep.diagnostics.converged);
     assert_eq!(
