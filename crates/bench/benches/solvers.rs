@@ -86,6 +86,48 @@ fn bench_priority_heuristic(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_workspace_reuse(c: &mut Criterion) {
+    // The allocation-free path: one warmed SolverWorkspace reused across
+    // solves vs a fresh workspace (and its allocations) per solve.
+    let mut group = c.benchmark_group("workspace-reuse");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for k in [4usize, 8] {
+        let cfg = SystemConfig::paper_default().with_topology(Topology::torus(k));
+        let mms = build_network(&cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("fresh-workspace", format!("k{k}")),
+            &mms,
+            |b, mms| {
+                b.iter(|| {
+                    lt_core::mva::amva::solve_in(
+                        &mms.net,
+                        Default::default(),
+                        None,
+                        &mut SolverWorkspace::new(),
+                    )
+                    .unwrap()
+                    .iterations
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pooled-workspace", format!("k{k}")),
+            &mms,
+            |b, mms| {
+                let mut ws = SolverWorkspace::new();
+                b.iter(|| {
+                    lt_core::mva::amva::solve_in(&mms.net, Default::default(), None, &mut ws)
+                        .unwrap()
+                        .iterations
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_tolerance_index(c: &mut Criterion) {
     let cfg = SystemConfig::paper_default();
     let mut group = c.benchmark_group("tolerance-index");
@@ -113,6 +155,7 @@ criterion_group!(
     bench_solvers_scaling,
     bench_solver_accuracy_tier,
     bench_priority_heuristic,
+    bench_workspace_reuse,
     bench_tolerance_index
 );
 criterion_main!(solvers);

@@ -1,0 +1,34 @@
+//! Validate `BENCH.json` trajectory files: well-formed JSON (via
+//! `lt_core::json`), the `lt-bench/v1` schema tag, and sane rows (finite
+//! non-negative times, at least one sample per bench). CI runs this over
+//! the freshly emitted report and the committed baselines; any defect is
+//! a nonzero exit.
+//!
+//! Usage: `validate_bench FILE [FILE...]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: validate_bench FILE [FILE...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match lt_bench::validate_report(&text) {
+                Ok(rows) => println!("{path}: ok ({rows} bench rows)"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,10 +8,42 @@
 //! functional offline. Timings are wall-clock means over a fixed batch
 //! schedule — good enough for the relative comparisons these benches make,
 //! without Criterion's statistical machinery.
+//!
+//! ## The perf trajectory: `BENCH.json`
+//!
+//! Beyond printing, every finished benchmark registers its result in a
+//! process-global registry, and [`criterion_main!`] ends by calling
+//! [`finalize`], which writes the registry as `BENCH.json` at the
+//! workspace root (`LT_BENCH_JSON` overrides the path). The document is
+//! encoded with [`lt_core::json`] and parsed back before the process
+//! exits, so a malformed file fails the bench run instead of poisoning
+//! the committed trajectory. Repeated runs merge by `(group, name)`:
+//! running one bench binary refreshes its rows and leaves the others.
+//!
+//! Benches can also publish non-timing scalars — solver iteration
+//! counts, speedup ratios — via [`report_counter`]; they land in the
+//! same document under `counters`.
+//!
+//! ## CI smoke mode
+//!
+//! `LT_BENCH_FAST=1` collapses every benchmark to a single sample with
+//! no warm-up. The numbers are meaningless as measurements but the run
+//! exercises every bench body and the full JSON emission path in
+//! seconds, which is what the CI lane checks.
 
 #![forbid(unsafe_code)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use lt_core::json::{self, JsonValue};
+
+/// Environment variable that switches on single-sample smoke mode.
+pub const FAST_ENV: &str = "LT_BENCH_FAST";
+/// Environment variable overriding where [`finalize`] writes the report.
+pub const JSON_PATH_ENV: &str = "LT_BENCH_JSON";
+/// Schema tag stamped into every report this harness writes.
+pub const SCHEMA: &str = "lt-bench/v1";
 
 /// Prevent the optimizer from discarding a benchmark's result.
 #[inline]
@@ -19,17 +51,110 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// One timed benchmark's registered result.
+#[derive(Debug, Clone)]
+struct BenchRow {
+    group: String,
+    name: String,
+    mean_s: f64,
+    best_s: f64,
+    samples: u64,
+}
+
+/// One reported scalar (iteration counts, ratios, ...).
+#[derive(Debug, Clone)]
+struct CounterRow {
+    group: String,
+    name: String,
+    value: f64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    benches: Vec<BenchRow>,
+    counters: Vec<CounterRow>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
+    match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Record a named scalar alongside the timing rows — solver iteration
+/// counts, warm/cold ratios, anything a bench wants in the trajectory.
+/// Re-reporting the same `(group, name)` replaces the previous value.
+pub fn report_counter(group: &str, name: &str, value: f64) {
+    let mut reg = lock_registry();
+    if let Some(row) = reg
+        .counters
+        .iter_mut()
+        .find(|r| r.group == group && r.name == name)
+    {
+        row.value = value;
+        return;
+    }
+    reg.counters.push(CounterRow {
+        group: group.to_string(),
+        name: name.to_string(),
+        value,
+    });
+}
+
+fn record_bench(group: &str, name: &str, mean_s: f64, best_s: f64, samples: u64) {
+    let mut reg = lock_registry();
+    if let Some(row) = reg
+        .benches
+        .iter_mut()
+        .find(|r| r.group == group && r.name == name)
+    {
+        row.mean_s = mean_s;
+        row.best_s = best_s;
+        row.samples = samples;
+        return;
+    }
+    reg.benches.push(BenchRow {
+        group: group.to_string(),
+        name: name.to_string(),
+        mean_s,
+        best_s,
+        samples,
+    });
+}
+
 /// Top-level harness handle (mirrors `criterion::Criterion`).
-#[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    fast: bool,
+}
+
+impl Default for Criterion {
+    /// Reads [`FAST_ENV`] once at construction: `LT_BENCH_FAST=1` turns
+    /// every group into single-sample smoke mode.
+    fn default() -> Self {
+        let fast = std::env::var(FAST_ENV).map(|v| v == "1").unwrap_or(false);
+        Criterion { fast }
+    }
 }
 
 impl Criterion {
+    /// Explicit smoke-mode control (tests use this instead of the
+    /// environment variable, which is process-global).
+    pub fn with_fast(fast: bool) -> Self {
+        Criterion { fast }
+    }
+
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("\n== {name} ==");
         BenchmarkGroup {
+            name: name.to_string(),
+            fast: self.fast,
             sample_size: 10,
             warm_up: Duration::from_millis(200),
             measurement: Duration::from_secs(2),
@@ -60,6 +185,8 @@ impl BenchmarkId {
 
 /// A group of benchmarks sharing sampling settings.
 pub struct BenchmarkGroup {
+    name: String,
+    fast: bool,
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
@@ -106,37 +233,49 @@ impl BenchmarkGroup {
     pub fn finish(&mut self) {}
 
     fn run(&self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let (samples, warm_up) = if self.fast {
+            (1, Duration::ZERO)
+        } else {
+            (self.sample_size.max(1), self.warm_up)
+        };
         // Warm-up: run until the warm-up budget is spent.
         let start = Instant::now();
-        while start.elapsed() < self.warm_up {
-            let mut b = Bencher {
-                iters: 1,
-                elapsed: Duration::ZERO,
-            };
+        while start.elapsed() < warm_up {
+            let mut b = Bencher::new();
             f(&mut b);
         }
-        // Timed samples within the measurement budget.
-        let mut times = Vec::with_capacity(self.sample_size);
+        // Timed samples. The budget is checked *before* starting each
+        // sample after the first: a sample is either run to completion
+        // and counted, or never started — the mean is always over
+        // completed samples only.
+        let mut times = Vec::with_capacity(samples);
         let budget_start = Instant::now();
-        for _ in 0..self.sample_size.max(1) {
-            let mut b = Bencher {
-                iters: 1,
-                elapsed: Duration::ZERO,
-            };
-            f(&mut b);
-            times.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
-            if budget_start.elapsed() > self.measurement {
+        for i in 0..samples {
+            if i > 0 && !self.fast && budget_start.elapsed() > self.measurement {
                 break;
             }
+            let mut b = Bencher::new();
+            f(&mut b);
+            if b.iters == 0 {
+                // A closure that never called `iter` produced no timing.
+                continue;
+            }
+            times.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        if times.is_empty() {
+            println!("  {label:<32} (no samples: closure never called iter)");
+            return;
         }
         times.sort_by(|a, b| a.total_cmp(b));
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         let best = times[0];
         println!(
-            "  {label:<32} mean {:>12} best {:>12}",
+            "  {label:<32} mean {:>12} best {:>12}  ({} samples)",
             fmt(mean),
-            fmt(best)
+            fmt(best),
+            times.len()
         );
+        record_bench(&self.name, label, mean, best, times.len() as u64);
     }
 }
 
@@ -159,12 +298,204 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time one call of `routine` (accumulated into the sample).
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time one call of `routine` (accumulated into the sample; the
+    /// per-sample time is total elapsed divided by calls).
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         let start = Instant::now();
         let out = routine();
         self.elapsed += start.elapsed();
+        self.iters += 1;
         black_box(out);
+    }
+}
+
+/// The default report path: `BENCH.json` at the workspace root.
+fn default_report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH.json")
+}
+
+fn registry_to_json(reg: &Registry) -> JsonValue {
+    let benches: Vec<JsonValue> = reg
+        .benches
+        .iter()
+        .map(|r| {
+            JsonValue::object(vec![
+                ("group", r.group.clone().into()),
+                ("name", r.name.clone().into()),
+                ("mean_s", r.mean_s.into()),
+                ("best_s", r.best_s.into()),
+                ("samples", r.samples.into()),
+            ])
+        })
+        .collect();
+    let counters: Vec<JsonValue> = reg
+        .counters
+        .iter()
+        .map(|r| {
+            JsonValue::object(vec![
+                ("group", r.group.clone().into()),
+                ("name", r.name.clone().into()),
+                ("value", r.value.into()),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("schema", SCHEMA.into()),
+        ("benches", JsonValue::Array(benches)),
+        ("counters", JsonValue::Array(counters)),
+    ])
+}
+
+/// Fold rows from a previously written report into `reg`, keeping the
+/// in-memory (fresher) row wherever both have the same `(group, name)`.
+fn merge_previous(reg: &mut Registry, prior: &JsonValue) {
+    if prior.get("schema").and_then(|s| s.as_str()) != Some(SCHEMA) {
+        return;
+    }
+    if let Some(rows) = prior.get("benches").and_then(|b| b.as_array()) {
+        for row in rows {
+            let (Some(group), Some(name)) = (
+                row.get("group").and_then(|v| v.as_str()),
+                row.get("name").and_then(|v| v.as_str()),
+            ) else {
+                continue;
+            };
+            if reg
+                .benches
+                .iter()
+                .any(|r| r.group == group && r.name == name)
+            {
+                continue;
+            }
+            let (Some(mean_s), Some(best_s), Some(samples)) = (
+                row.get("mean_s").and_then(|v| v.as_f64()),
+                row.get("best_s").and_then(|v| v.as_f64()),
+                row.get("samples").and_then(|v| v.as_u64()),
+            ) else {
+                continue;
+            };
+            reg.benches.push(BenchRow {
+                group: group.to_string(),
+                name: name.to_string(),
+                mean_s,
+                best_s,
+                samples,
+            });
+        }
+    }
+    if let Some(rows) = prior.get("counters").and_then(|c| c.as_array()) {
+        for row in rows {
+            let (Some(group), Some(name), Some(value)) = (
+                row.get("group").and_then(|v| v.as_str()),
+                row.get("name").and_then(|v| v.as_str()),
+                row.get("value").and_then(|v| v.as_f64()),
+            ) else {
+                continue;
+            };
+            if !reg
+                .counters
+                .iter()
+                .any(|r| r.group == group && r.name == name)
+            {
+                reg.counters.push(CounterRow {
+                    group: group.to_string(),
+                    name: name.to_string(),
+                    value,
+                });
+            }
+        }
+    }
+}
+
+/// Validate that `text` is a well-formed `lt-bench/v1` report. Returns
+/// the number of bench rows, or a description of the first defect.
+pub fn validate_report(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if doc.get("schema").and_then(|s| s.as_str()) != Some(SCHEMA) {
+        return Err(format!("schema field is not {SCHEMA:?}"));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(|b| b.as_array())
+        .ok_or("missing benches array")?;
+    for (i, row) in benches.iter().enumerate() {
+        for key in ["group", "name"] {
+            if row.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("benches[{i}].{key} missing or not a string"));
+            }
+        }
+        for key in ["mean_s", "best_s"] {
+            match row.get(key).and_then(|v| v.as_f64()) {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                _ => return Err(format!("benches[{i}].{key} missing or not a finite time")),
+            }
+        }
+        match row.get("samples").and_then(|v| v.as_u64()) {
+            Some(n) if n >= 1 => {}
+            _ => return Err(format!("benches[{i}].samples missing or zero")),
+        }
+    }
+    let counters = doc
+        .get("counters")
+        .and_then(|c| c.as_array())
+        .ok_or("missing counters array")?;
+    for (i, row) in counters.iter().enumerate() {
+        for key in ["group", "name"] {
+            if row.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("counters[{i}].{key} missing or not a string"));
+            }
+        }
+        match row.get("value").and_then(|v| v.as_f64()) {
+            Some(x) if x.is_finite() => {}
+            _ => return Err(format!("counters[{i}].value missing or not finite")),
+        }
+    }
+    Ok(benches.len())
+}
+
+/// Serialize the registry (merged with any previous report at the same
+/// path), self-validate, and write. Exposed for tests; bench binaries go
+/// through [`finalize`].
+pub fn write_report_to(path: &std::path::Path) -> Result<usize, String> {
+    let mut reg = {
+        let guard = lock_registry();
+        Registry {
+            benches: guard.benches.clone(),
+            counters: guard.counters.clone(),
+        }
+    };
+    if let Ok(prior_text) = std::fs::read_to_string(path) {
+        if let Ok(prior) = json::parse(&prior_text) {
+            merge_previous(&mut reg, &prior);
+        }
+    }
+    let text = json::encode(&registry_to_json(&reg));
+    let rows = validate_report(&text).map_err(|e| format!("self-check failed: {e}"))?;
+    std::fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(rows)
+}
+
+/// Write the collected results as `BENCH.json` (path from
+/// [`JSON_PATH_ENV`], default the workspace root) and exit the process
+/// with a failure code if the document cannot be produced or does not
+/// round-trip through [`lt_core::json`]. Called by [`criterion_main!`].
+pub fn finalize() {
+    let path = std::env::var(JSON_PATH_ENV)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| default_report_path());
+    match write_report_to(&path) {
+        Ok(rows) => println!("\nlt-bench: wrote {rows} bench rows to {}", path.display()),
+        Err(e) => {
+            eprintln!("lt-bench: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -179,12 +510,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare the bench entry point (Criterion-compatible shape).
+/// Declare the bench entry point (Criterion-compatible shape). Runs the
+/// groups, then writes `BENCH.json` via [`finalize`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -195,7 +528,7 @@ mod tests {
 
     #[test]
     fn group_runs_and_reports() {
-        let mut c = Criterion::default();
+        let mut c = Criterion::with_fast(false);
         let mut group = c.benchmark_group("shim");
         group
             .sample_size(3)
@@ -215,5 +548,134 @@ mod tests {
     fn benchmark_id_labels() {
         assert_eq!(BenchmarkId::new("f", "k4").label, "f/k4");
         assert_eq!(BenchmarkId::from_parameter("p2").label, "p2");
+    }
+
+    #[test]
+    fn fast_mode_runs_exactly_one_sample_with_no_warm_up() {
+        let mut c = Criterion::with_fast(true);
+        let mut group = c.benchmark_group("fast");
+        group.sample_size(50).warm_up_time(Duration::from_secs(5));
+        let mut calls = 0usize;
+        group.bench_function("one-shot", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(calls, 1, "fast mode must run the closure exactly once");
+        let reg = lock_registry();
+        let row = reg
+            .benches
+            .iter()
+            .find(|r| r.group == "fast" && r.name == "one-shot")
+            .expect("registered");
+        assert_eq!(row.samples, 1);
+    }
+
+    #[test]
+    fn multiple_iter_calls_divide_the_sample_time() {
+        let mut c = Criterion::with_fast(true);
+        let mut group = c.benchmark_group("iters");
+        let mut calls = 0usize;
+        group.bench_function("three-calls", |b| {
+            for _ in 0..3 {
+                b.iter(|| {
+                    calls += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                });
+            }
+        });
+        assert_eq!(calls, 3);
+        let reg = lock_registry();
+        let row = reg
+            .benches
+            .iter()
+            .find(|r| r.group == "iters" && r.name == "three-calls")
+            .expect("registered");
+        // Mean per-iter time must reflect the division by 3: one 2 ms
+        // sleep each, not 6 ms total per sample.
+        assert!(
+            row.mean_s < 0.004,
+            "per-iter mean {} should be ~2 ms, not the 6 ms total",
+            row.mean_s
+        );
+    }
+
+    #[test]
+    fn closure_that_never_iterates_registers_nothing() {
+        let mut c = Criterion::with_fast(true);
+        let mut group = c.benchmark_group("empty");
+        group.bench_function("no-iter", |_b| {});
+        let reg = lock_registry();
+        assert!(
+            !reg.benches.iter().any(|r| r.name == "no-iter"),
+            "a sample with zero iters must not produce a row"
+        );
+    }
+
+    #[test]
+    fn report_round_trips_and_merges() {
+        let dir = std::env::temp_dir().join("lt-bench-test-report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        // Seed a prior report with one foreign row and one stale row.
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"schema\":\"{SCHEMA}\",\"benches\":[\
+                 {{\"group\":\"merge\",\"name\":\"foreign\",\"mean_s\":1.0,\"best_s\":0.5,\"samples\":4}},\
+                 {{\"group\":\"merge\",\"name\":\"mine\",\"mean_s\":9.0,\"best_s\":9.0,\"samples\":1}}],\
+                 \"counters\":[]}}"
+            ),
+        )
+        .unwrap();
+        let mut c = Criterion::with_fast(true);
+        let mut group = c.benchmark_group("merge");
+        group.bench_function("mine", |b| b.iter(|| 1 + 1));
+        report_counter("merge", "iters-total", 42.0);
+        let rows = write_report_to(&path).unwrap();
+        assert!(rows >= 2, "fresh row + merged foreign row");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(validate_report(&text).is_ok());
+        let doc = json::parse(&text).unwrap();
+        let benches = doc.get("benches").and_then(|b| b.as_array()).unwrap();
+        let mine = benches
+            .iter()
+            .find(|r| r.get("name").and_then(|n| n.as_str()) == Some("mine"))
+            .unwrap();
+        assert!(
+            mine.get("mean_s").and_then(|v| v.as_f64()).unwrap() < 9.0,
+            "the fresh measurement must replace the stale row"
+        );
+        assert!(
+            benches
+                .iter()
+                .any(|r| r.get("name").and_then(|n| n.as_str()) == Some("foreign")),
+            "rows from other bench binaries survive the merge"
+        );
+        let counters = doc.get("counters").and_then(|cs| cs.as_array()).unwrap();
+        assert!(counters
+            .iter()
+            .any(|r| r.get("name").and_then(|n| n.as_str()) == Some("iters-total")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_malformed_reports() {
+        assert!(validate_report("{not json").is_err());
+        assert!(validate_report("{\"schema\":\"other/v9\"}").is_err());
+        assert!(
+            validate_report(&format!("{{\"schema\":\"{SCHEMA}\",\"benches\":[]}}")).is_err(),
+            "counters array is required"
+        );
+        assert!(validate_report(&format!(
+            "{{\"schema\":\"{SCHEMA}\",\"benches\":[{{\"group\":\"g\",\"name\":\"n\",\
+             \"mean_s\":-1.0,\"best_s\":1.0,\"samples\":2}}],\"counters\":[]}}"
+        ))
+        .is_err());
+        assert!(validate_report(&format!(
+            "{{\"schema\":\"{SCHEMA}\",\"benches\":[],\"counters\":[]}}"
+        ))
+        .is_ok());
     }
 }

@@ -6,6 +6,7 @@ use crate::error::{LtError, Result};
 use crate::metrics::{report, Fidelity, PerformanceReport, SubsystemUtilization};
 use crate::mva::{
     amva, exact, linearizer, priority, symmetric, MvaSolution, SolverDiagnostics, SolverOptions,
+    SolverWorkspace,
 };
 use crate::params::SystemConfig;
 use crate::qn::build::{build_network, MmsNetwork};
@@ -55,17 +56,41 @@ pub fn solve_network_with(
     choice: SolverChoice,
     opts: SolverOptions,
 ) -> Result<MvaSolution> {
+    solve_network_in(mms, choice, opts, None, &mut SolverWorkspace::new())
+}
+
+/// [`solve_network_with`] with an optional warm start and caller-owned
+/// scratch memory — the entry used by sweep drivers and `latencyd`.
+///
+/// `warm` is a flattened class-major queue matrix (`c * m`), typically the
+/// solution of a neighboring parameter point; it seeds every *iterative*
+/// rung the chosen solver runs (the exact solver ignores it). Guesses with
+/// the wrong shape or non-finite entries are silently discarded — a warm
+/// start may change iteration counts, never the converged answer beyond
+/// solver tolerance.
+pub fn solve_network_in(
+    mms: &MmsNetwork,
+    choice: SolverChoice,
+    opts: SolverOptions,
+    warm: Option<&[f64]>,
+    ws: &mut SolverWorkspace,
+) -> Result<MvaSolution> {
     match choice {
-        SolverChoice::Auto => solve_auto(mms, opts),
-        SolverChoice::SymmetricAmva => symmetric::solve_with(mms, opts),
-        SolverChoice::Amva => amva::solve_with(&mms.net, opts),
-        SolverChoice::Linearizer => linearizer::solve_with(&mms.net, opts),
+        SolverChoice::Auto => solve_auto(mms, opts, warm, ws),
+        SolverChoice::SymmetricAmva => symmetric::solve_in(mms, opts, warm, ws),
+        SolverChoice::Amva => amva::solve_in(&mms.net, opts, warm, ws),
+        SolverChoice::Linearizer => linearizer::solve_in(&mms.net, opts, warm, ws),
         SolverChoice::Exact => exact::solve(&mms.net),
     }
 }
 
 /// The [`SolverChoice::Auto`] escalation ladder.
-fn solve_auto(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> {
+fn solve_auto(
+    mms: &MmsNetwork,
+    opts: SolverOptions,
+    warm: Option<&[f64]>,
+    ws: &mut SolverWorkspace,
+) -> Result<MvaSolution> {
     let net = &mms.net;
     let m = net.n_stations();
     let mut lattice: u128 = 1;
@@ -91,7 +116,12 @@ fn solve_auto(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> {
 
     // Rung 1: Linearizer for medium systems.
     if linearizer_cost <= AUTO_LINEARIZER_COST {
-        match retrying(&mut wasted, opts, |o| linearizer::solve_with(net, o)) {
+        match retrying(
+            &mut wasted,
+            opts,
+            |o, ws| linearizer::solve_in(net, o, warm, ws),
+            ws,
+        ) {
             Ok(sol) => return Ok(absorb_wasted(sol, &wasted)),
             Err(LtError::NoConvergence { .. }) => {}
             Err(e) => return Err(e),
@@ -100,7 +130,12 @@ fn solve_auto(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> {
 
     // Rung 2: symmetric O(M) AMVA on vertex-transitive topologies.
     if mms.is_symmetric() {
-        match retrying(&mut wasted, opts, |o| symmetric::solve_with(mms, o)) {
+        match retrying(
+            &mut wasted,
+            opts,
+            |o, ws| symmetric::solve_in(mms, o, warm, ws),
+            ws,
+        ) {
             Ok(sol) => return Ok(absorb_wasted(sol, &wasted)),
             Err(LtError::NoConvergence { .. }) => {}
             Err(e) => return Err(e),
@@ -108,7 +143,12 @@ fn solve_auto(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> {
     }
 
     // Rung 3: general AMVA.
-    let last_err = match retrying(&mut wasted, opts, |o| amva::solve_with(net, o)) {
+    let last_err = match retrying(
+        &mut wasted,
+        opts,
+        |o, ws| amva::solve_in(net, o, warm, ws),
+        ws,
+    ) {
         Ok(sol) => return Ok(absorb_wasted(sol, &wasted)),
         Err(e @ LtError::NoConvergence { .. }) => e,
         Err(e) => return Err(e),
@@ -117,7 +157,7 @@ fn solve_auto(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> {
     // Rung 4, last resort: a heavily damped Linearizer even past its cost
     // budget (only reached when every cheaper rung failed to converge).
     if linearizer_cost > AUTO_LINEARIZER_COST {
-        match linearizer::solve_with(net, opts.tightened()) {
+        match linearizer::solve_in(net, opts.tightened(), warm, ws) {
             Ok(sol) => return Ok(absorb_wasted(sol, &wasted)),
             Err(LtError::NoConvergence { .. }) => {}
             Err(e) => return Err(e),
@@ -127,16 +167,21 @@ fn solve_auto(mms: &MmsNetwork, opts: SolverOptions) -> Result<MvaSolution> {
     Err(last_err)
 }
 
-/// Run `f(opts)`; on [`LtError::NoConvergence`] record the wasted effort
-/// and retry once with [`SolverOptions::tightened`].
-fn retrying<F>(wasted: &mut SolverDiagnostics, opts: SolverOptions, mut f: F) -> Result<MvaSolution>
+/// Run `f(opts, ws)`; on [`LtError::NoConvergence`] record the wasted
+/// effort and retry once with [`SolverOptions::tightened`].
+fn retrying<F>(
+    wasted: &mut SolverDiagnostics,
+    opts: SolverOptions,
+    mut f: F,
+    ws: &mut SolverWorkspace,
+) -> Result<MvaSolution>
 where
-    F: FnMut(SolverOptions) -> Result<MvaSolution>,
+    F: FnMut(SolverOptions, &mut SolverWorkspace) -> Result<MvaSolution>,
 {
-    match f(opts) {
+    match f(opts, ws) {
         Err(LtError::NoConvergence { iterations, .. }) => {
             wasted.iterations += iterations;
-            f(opts.tightened())
+            f(opts.tightened(), ws)
         }
         other => other,
     }
@@ -158,6 +203,164 @@ pub fn solve(cfg: &SystemConfig) -> Result<PerformanceReport> {
 pub fn solve_with(cfg: &SystemConfig, choice: SolverChoice) -> Result<PerformanceReport> {
     let mms = build_network(cfg)?;
     let sol = solve_network(&mms, choice)?;
+    Ok(report(&mms, &sol))
+}
+
+/// Warm-start state carried between consecutive solves of a sweep.
+///
+/// A seed holds the flattened queue matrices of the last two successful
+/// solves on the same worker and the running warm/cold counters that
+/// surface in `latencyd`'s `/metrics`. Sweep drivers keep one seed per
+/// worker thread: neighboring grid points have nearby fixed points, so
+/// seeding each solve from its predecessors cuts iteration counts
+/// without changing converged answers (the solvers re-iterate to the
+/// same tolerance from any start).
+///
+/// The offered guess is sharpened in two ways beyond a plain copy:
+///
+/// * **Population scaling** — each class row is rescaled by the ratio of
+///   the new class population to the stored one, so a step along the
+///   thread axis conserves the new population exactly instead of being
+///   one customer short.
+/// * **Secant extrapolation** — with two stored solutions the seed is
+///   `2·q_prev − q_prev2` (clamped at zero), which tracks the solution's
+///   drift along a uniformly stepped parameter axis to second order.
+///
+/// Both are hints only: a seed that turns out to be poor costs extra
+/// iterations, never a different answer, and a warm-started convergence
+/// failure is retried cold by [`solve_seeded`].
+#[derive(Debug, Default)]
+pub struct SweepSeed {
+    /// Flattened `c * m` queue matrix of the most recent solution.
+    state: Vec<f64>,
+    /// Per-class populations `state` was solved at.
+    pops: Vec<f64>,
+    /// The solution before `state` (same layout), for extrapolation.
+    older: Vec<f64>,
+    /// Per-class populations `older` was solved at.
+    older_pops: Vec<f64>,
+    /// How many stored solutions are valid: 0, 1 (`state`), or 2.
+    depth: u8,
+    /// Scratch the offered guess is assembled into.
+    guess: Vec<f64>,
+    /// Solves that started from a usable seed.
+    pub warm_hits: u64,
+    /// Solves that started cold (no seed, shape mismatch, or a warm
+    /// attempt that had to be retried cold).
+    pub cold_solves: u64,
+}
+
+impl SweepSeed {
+    /// A fresh, cold seed.
+    pub fn new() -> Self {
+        SweepSeed::default()
+    }
+
+    /// Drop the stored solutions (the counters survive). Used when a warm
+    /// attempt fails, or by sweeps running in deliberate cold mode.
+    pub fn invalidate(&mut self) {
+        self.depth = 0;
+    }
+
+    /// Assemble the warm-start guess for a network with the given
+    /// per-class `populations` into the internal scratch and return it,
+    /// or `None` when nothing stored matches the shape.
+    fn prepare(&mut self, populations: &[usize], m: usize) -> Option<&[f64]> {
+        let c = populations.len();
+        let len = c * m;
+        if self.depth == 0 || self.state.len() != len || self.pops.len() != c {
+            return None;
+        }
+        if self.pops.iter().any(|&n| n <= 0.0) {
+            return None;
+        }
+        self.guess.clear();
+        self.guess.reserve(len);
+        let use_secant = self.depth >= 2
+            && self.older.len() == len
+            && self.older_pops.len() == c
+            && self.older_pops.iter().all(|&n| n > 0.0);
+        for (i, &pop) in populations.iter().enumerate() {
+            let n_new = pop as f64;
+            let scale_a = n_new / self.pops[i];
+            let row_a = &self.state[i * m..(i + 1) * m];
+            if use_secant {
+                let scale_b = n_new / self.older_pops[i];
+                let row_b = &self.older[i * m..(i + 1) * m];
+                self.guess.extend(
+                    row_a
+                        .iter()
+                        .zip(row_b)
+                        .map(|(a, b)| (2.0 * a * scale_a - b * scale_b).max(0.0)),
+                );
+            } else {
+                self.guess.extend(row_a.iter().map(|a| a * scale_a));
+            }
+        }
+        Some(&self.guess[..])
+    }
+
+    /// Adopt a solution as the next warm start (rotates the stored pair,
+    /// reusing both buffers).
+    fn store(&mut self, sol: &MvaSolution, populations: &[usize]) {
+        std::mem::swap(&mut self.state, &mut self.older);
+        std::mem::swap(&mut self.pops, &mut self.older_pops);
+        self.state.clear();
+        for row in &sol.queue {
+            self.state.extend_from_slice(row);
+        }
+        self.pops.clear();
+        self.pops.extend(populations.iter().map(|&n| n as f64));
+        self.depth = match self.depth {
+            0 => 1,
+            _ => 2,
+        };
+    }
+}
+
+/// Build, solve, and extract measures, warm-started from `seed` and
+/// running through `ws`.
+///
+/// On success the seed is updated to the new solution. If a *warm-started*
+/// attempt fails recoverably (no convergence), the seed is invalidated and
+/// the solve retried cold before any error is reported — a stale seed must
+/// never make a point fail that would have succeeded cold, and a degraded
+/// ladder must not be entered because of a bad hint.
+pub fn solve_seeded(
+    cfg: &SystemConfig,
+    choice: SolverChoice,
+    opts: SolverOptions,
+    seed: &mut SweepSeed,
+    ws: &mut SolverWorkspace,
+) -> Result<PerformanceReport> {
+    let mms = build_network(cfg)?;
+    let m = mms.net.n_stations();
+    let warm_used;
+    let attempt = {
+        let warm = seed.prepare(&mms.net.populations, m);
+        warm_used = warm.is_some();
+        solve_network_in(&mms, choice, opts, warm, ws)
+    };
+    let sol = match attempt {
+        Ok(sol) => {
+            if warm_used {
+                seed.warm_hits += 1;
+            } else {
+                seed.cold_solves += 1;
+            }
+            sol
+        }
+        Err(e) if warm_used && recoverable(&e) => {
+            seed.invalidate();
+            seed.cold_solves += 1;
+            solve_network_in(&mms, choice, opts, None, ws)?
+        }
+        Err(e) => {
+            seed.invalidate();
+            return Err(e);
+        }
+    };
+    seed.store(&sol, &mms.net.populations);
     Ok(report(&mms, &sol))
 }
 
@@ -213,18 +416,44 @@ pub fn solve_degraded(
     choice: SolverChoice,
     policy: DegradePolicy,
 ) -> Result<PerformanceReport> {
+    solve_degraded_in(
+        cfg,
+        choice,
+        policy,
+        &mut SweepSeed::new(),
+        &mut SolverWorkspace::new(),
+    )
+}
+
+/// [`solve_degraded`] with a warm-start seed and caller-owned scratch —
+/// the entry `latencyd` runs on its pooled per-worker state.
+///
+/// Every rung (primary and fallbacks) solves through [`solve_seeded`], so
+/// a usable seed warms whichever rung actually runs and the seed tracks
+/// the solution that ultimately succeeded. Fidelity tagging is identical
+/// to [`solve_degraded`]; warm starts cannot change which rung answers,
+/// because a warm-started convergence failure is retried cold before the
+/// ladder moves on.
+pub fn solve_degraded_in(
+    cfg: &SystemConfig,
+    choice: SolverChoice,
+    policy: DegradePolicy,
+    seed: &mut SweepSeed,
+    ws: &mut SolverWorkspace,
+) -> Result<PerformanceReport> {
+    let opts = SolverOptions::default();
     if policy.remaining.is_some_and(|left| left < MIN_SOLVE_BUDGET) {
         return bounds_report(cfg);
     }
     if !policy.skip_primary {
-        match solve_with(cfg, choice) {
+        match solve_seeded(cfg, choice, opts, seed, ws) {
             Ok(rep) => return Ok(rep),
             Err(e) if recoverable(&e) => {}
             Err(e) => return Err(e),
         }
     }
     for &rung in fallback_rungs(choice) {
-        match solve_with(cfg, rung) {
+        match solve_seeded(cfg, rung, opts, seed, ws) {
             Ok(mut rep) => {
                 rep.fidelity = Fidelity::Degraded;
                 return Ok(rep);
@@ -437,5 +666,78 @@ mod tests {
             remaining: None,
         };
         assert!(solve_degraded(&cfg, SolverChoice::Auto, policy).is_err());
+    }
+
+    #[test]
+    fn sweep_seed_scales_populations_and_extrapolates() {
+        let mut seed = SweepSeed::new();
+        let mut ws = SolverWorkspace::new();
+        for n_t in [4usize, 5] {
+            let cfg = SystemConfig::paper_default().with_n_threads(n_t);
+            solve_seeded(
+                &cfg,
+                SolverChoice::Amva,
+                SolverOptions::default(),
+                &mut seed,
+                &mut ws,
+            )
+            .unwrap();
+        }
+        assert_eq!(seed.cold_solves, 1, "first point has nothing to seed from");
+        assert_eq!(seed.warm_hits, 1, "second point must warm-start");
+
+        // With two stored solutions the guess for n_t = 6 is the
+        // population-scaled secant; each class row of a closed-network
+        // queue matrix sums to its population, so the guess must conserve
+        // the *new* population (up to the clamp at zero).
+        let cfg = SystemConfig::paper_default().with_n_threads(6);
+        let mms = build_network(&cfg).unwrap();
+        let m = mms.net.n_stations();
+        let pops = mms.net.populations.clone();
+        let guess = seed.prepare(&pops, m).unwrap().to_vec();
+        assert_eq!(guess.len(), pops.len() * m);
+        for (i, row) in guess.chunks(m).enumerate() {
+            assert!(row.iter().all(|q| q.is_finite() && *q >= 0.0));
+            let total: f64 = row.iter().sum();
+            let want = pops[i] as f64;
+            assert!(
+                (total - want).abs() < 0.5,
+                "class {i} guess sums to {total}, population is {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_seed_offers_nothing_when_stale_or_mismatched() {
+        let mut seed = SweepSeed::new();
+        let mut ws = SolverWorkspace::new();
+        let cfg = SystemConfig::paper_default();
+        let mms = build_network(&cfg).unwrap();
+        let m = mms.net.n_stations();
+        let pops = mms.net.populations.clone();
+
+        // Nothing stored yet.
+        assert!(seed.prepare(&pops, m).is_none());
+
+        solve_seeded(
+            &cfg,
+            SolverChoice::Amva,
+            SolverOptions::default(),
+            &mut seed,
+            &mut ws,
+        )
+        .unwrap();
+        assert!(seed.prepare(&pops, m).is_some());
+
+        // A different station count or class count must not be seeded
+        // from the stored shape.
+        assert!(seed.prepare(&pops, m + 1).is_none());
+        assert!(seed.prepare(&pops[..pops.len() - 1], m).is_none());
+
+        // Invalidation drops the stored state but keeps the counters.
+        let before = (seed.warm_hits, seed.cold_solves);
+        seed.invalidate();
+        assert!(seed.prepare(&pops, m).is_none());
+        assert_eq!((seed.warm_hits, seed.cold_solves), before);
     }
 }

@@ -78,9 +78,13 @@ pub mod topology;
 pub mod wire;
 pub mod workload;
 
-pub use analysis::{solve, solve_degraded, solve_with, DegradePolicy, SolverChoice};
+pub use analysis::{
+    solve, solve_degraded, solve_degraded_in, solve_seeded, solve_with, DegradePolicy,
+    SolverChoice, SweepSeed,
+};
 pub use error::LtError;
 pub use metrics::{Fidelity, PerformanceReport};
+pub use mva::SolverWorkspace;
 pub use params::{ArchParams, SystemConfig, WorkloadParams};
 pub use tolerance::{tolerance_index, IdealSpec, ToleranceReport, ToleranceZone};
 pub use topology::Topology;
@@ -88,10 +92,14 @@ pub use workload::AccessPattern;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::analysis::{solve, solve_degraded, solve_with, DegradePolicy, SolverChoice};
+    pub use crate::analysis::{
+        solve, solve_degraded, solve_degraded_in, solve_seeded, solve_with, DegradePolicy,
+        SolverChoice, SweepSeed,
+    };
     pub use crate::bottleneck::BottleneckReport;
     pub use crate::error::LtError;
     pub use crate::metrics::{Fidelity, PerformanceReport};
+    pub use crate::mva::SolverWorkspace;
     pub use crate::params::{ArchParams, SystemConfig, WorkloadParams};
     pub use crate::qn::build::MmsNetwork;
     pub use crate::tolerance::{

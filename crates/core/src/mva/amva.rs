@@ -17,8 +17,9 @@
 //! under-relaxation keeps it from oscillating near saturation.
 
 use crate::error::{LtError, Result};
-use crate::mva::fixed_point::solve_fixed_point;
-use crate::mva::{initial_queue, MvaSolution, SolverOptions};
+use crate::mva::fixed_point::solve_fixed_point_in;
+use crate::mva::workspace::{usable_warm, Scratch, SolverWorkspace};
+use crate::mva::{initial_queue_flat, MvaSolution, SolverOptions};
 use crate::num::exactly_zero;
 use crate::qn::{ClosedNetwork, Discipline};
 
@@ -29,68 +30,106 @@ pub fn solve(net: &ClosedNetwork) -> Result<MvaSolution> {
 
 /// Solve with explicit convergence controls.
 pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolution> {
+    solve_in(net, opts, None, &mut SolverWorkspace::new())
+}
+
+/// Solve with explicit convergence controls, an optional warm start, and
+/// caller-owned scratch memory.
+///
+/// `warm` is a flattened class-major queue-length guess (`c * m` entries,
+/// `warm[i * m + st]`), typically the solution of a neighboring parameter
+/// point; it is used only if its length matches and every entry is a
+/// finite, non-negative number, otherwise the solver falls back to the
+/// demand-proportional cold start. Because the damped fixed point iterates
+/// to the same tolerance from any starting point in the feasible region,
+/// a warm start changes the iteration count, not the answer (agreement is
+/// within solver tolerance; asserted by `tests/properties.rs`).
+///
+/// On a workspace that has already seen this model shape the solve path
+/// performs zero heap allocations apart from the solution vectors and
+/// bounded diagnostic traces it returns.
+pub fn solve_in(
+    net: &ClosedNetwork,
+    opts: SolverOptions,
+    warm: Option<&[f64]>,
+    ws: &mut SolverWorkspace,
+) -> Result<MvaSolution> {
     net.validate()?;
     let c = net.n_classes();
     let m = net.n_stations();
 
-    // Flatten the class-by-station queue matrix for the driver.
-    let mut state: Vec<f64> = initial_queue(net).into_iter().flatten().collect();
-    let mut wait = vec![vec![0.0; m]; c];
-    let mut throughput = vec![0.0; c];
-    let mut totals = vec![0.0; m];
+    let Scratch {
+        state,
+        image,
+        prev_delta,
+        wait,
+        throughput,
+        totals,
+        ..
+    } = ws.scratch(c, m, false);
 
-    let diagnostics = solve_fixed_point("amva", &mut state, &opts, |queue, next| {
-        totals.iter_mut().for_each(|t| *t = 0.0);
-        for i in 0..c {
-            for (t, &v) in totals.iter_mut().zip(&queue[i * m..(i + 1) * m]) {
-                *t += v;
-            }
-        }
+    // Flattened class-by-station queue matrix for the driver: warm start
+    // when a usable guess was supplied, demand-proportional otherwise.
+    match usable_warm(warm, c * m) {
+        Some(w) => state.copy_from_slice(w),
+        None => initial_queue_flat(net, state),
+    }
 
-        for i in 0..c {
-            let row = &queue[i * m..(i + 1) * m];
-            let pop = net.populations[i] as f64;
-            let mut cycle = 0.0;
-            for st in 0..m {
-                let e = net.visits[i][st];
-                if exactly_zero(e) {
-                    wait[i][st] = 0.0;
-                    continue;
+    let diagnostics =
+        solve_fixed_point_in("amva", state, &opts, image, prev_delta, |queue, next| {
+            totals.iter_mut().for_each(|t| *t = 0.0);
+            for i in 0..c {
+                for (t, &v) in totals.iter_mut().zip(&queue[i * m..(i + 1) * m]) {
+                    *t += v;
                 }
-                let s = net.stations[st].service;
-                let w = match net.stations[st].discipline {
-                    Discipline::Queueing => {
-                        let seen = totals[st] - row[st] / pop;
-                        s * (1.0 + seen)
+            }
+
+            for i in 0..c {
+                let row = &queue[i * m..(i + 1) * m];
+                let wait_i = &mut wait[i * m..(i + 1) * m];
+                let pop = net.populations[i] as f64;
+                let mut cycle = 0.0;
+                for st in 0..m {
+                    let e = net.visits[i][st];
+                    if exactly_zero(e) {
+                        wait_i[st] = 0.0;
+                        continue;
                     }
-                    Discipline::Delay => s,
-                };
-                wait[i][st] = w;
-                cycle += e * w;
-            }
-            if cycle <= 0.0 {
-                return Err(LtError::DegenerateModel(format!(
-                    "amva: class {i} has zero total service demand \
+                    let s = net.stations[st].service;
+                    let w = match net.stations[st].discipline {
+                        Discipline::Queueing => {
+                            let seen = totals[st] - row[st] / pop;
+                            s * (1.0 + seen)
+                        }
+                        Discipline::Delay => s,
+                    };
+                    wait_i[st] = w;
+                    cycle += e * w;
+                }
+                if cycle <= 0.0 {
+                    return Err(LtError::DegenerateModel(format!(
+                        "amva: class {i} has zero total service demand \
                      (cycle time 0); its throughput is undefined"
-                )));
+                    )));
+                }
+                let lam = pop / cycle;
+                throughput[i] = lam;
+                for st in 0..m {
+                    let e = net.visits[i][st];
+                    next[i * m + st] = if exactly_zero(e) {
+                        0.0
+                    } else {
+                        lam * e * wait_i[st]
+                    };
+                }
             }
-            let lam = pop / cycle;
-            throughput[i] = lam;
-            for st in 0..m {
-                let e = net.visits[i][st];
-                next[i * m + st] = if exactly_zero(e) {
-                    0.0
-                } else {
-                    lam * e * wait[i][st]
-                };
-            }
-        }
-        Ok(())
-    })?;
+            Ok(())
+        })?;
 
     let queue: Vec<Vec<f64>> = state.chunks(m).map(|row| row.to_vec()).collect();
+    let wait: Vec<Vec<f64>> = wait.chunks(m).map(|row| row.to_vec()).collect();
     Ok(MvaSolution {
-        throughput,
+        throughput: throughput.clone(),
         wait,
         queue,
         iterations: diagnostics.iterations,
@@ -215,6 +254,46 @@ mod tests {
         assert_eq!(a.diagnostics.iterations, a.iterations);
         assert!(!a.diagnostics.residual_trace.is_empty());
         assert!(a.diagnostics.final_residual < 1e-10);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_with_fewer_iterations_and_no_allocations() {
+        let net = two_station(12, 1.0, 2.0);
+        let mut ws = SolverWorkspace::new();
+        let cold = solve_in(&net, SolverOptions::default(), None, &mut ws).unwrap();
+        let allocs_after_first = ws.allocations();
+        let guess: Vec<f64> = cold.queue.concat();
+        let warm = solve_in(&net, SolverOptions::default(), Some(&guess), &mut ws).unwrap();
+        assert!((warm.throughput[0] - cold.throughput[0]).abs() < 1e-8);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert_eq!(
+            ws.allocations(),
+            allocs_after_first,
+            "second same-shape solve must not grow the workspace"
+        );
+    }
+
+    #[test]
+    fn invalid_warm_start_falls_back_to_cold() {
+        let net = two_station(6, 1.0, 2.0);
+        let cold = solve(&net).unwrap();
+        // Wrong length and non-finite entries must both be ignored.
+        for bad in [vec![1.0; 3], vec![f64::NAN, 1.0, 1.0, 1.0]] {
+            let sol = solve_in(
+                &net,
+                SolverOptions::default(),
+                Some(&bad),
+                &mut SolverWorkspace::new(),
+            )
+            .unwrap();
+            assert_eq!(sol.iterations, cold.iterations, "must match the cold path");
+            assert!((sol.throughput[0] - cold.throughput[0]).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -120,6 +120,33 @@ pub fn solve_fixed_point<F>(
     solver: &'static str,
     x: &mut [f64],
     opts: &SolverOptions,
+    step: F,
+) -> Result<SolverDiagnostics>
+where
+    F: FnMut(&[f64], &mut [f64]) -> Result<()>,
+{
+    let mut image = Vec::new();
+    let mut prev_delta = Vec::new();
+    solve_fixed_point_in(solver, x, opts, &mut image, &mut prev_delta, step)
+}
+
+/// [`solve_fixed_point`] with caller-provided scratch for the image and the
+/// previous update direction — the allocation-free entry used by solvers
+/// running through a [`crate::mva::SolverWorkspace`].
+///
+/// Both buffers are resized to `x.len()` and zero-filled on entry (the
+/// oscillation detector needs `prev_delta` to start at zero), which reuses
+/// existing capacity and therefore allocates nothing once the buffers have
+/// seen the shape. The per-iteration loop allocates nothing at all; only
+/// the bounded diagnostic traces (at most [`SolverOptions::trace_cap`]
+/// entries, reserved up front) are allocated per solve because they are
+/// returned to the caller inside [`SolverDiagnostics`].
+pub fn solve_fixed_point_in<F>(
+    solver: &'static str,
+    x: &mut [f64],
+    opts: &SolverOptions,
+    image: &mut Vec<f64>,
+    prev_delta: &mut Vec<f64>,
     mut step: F,
 ) -> Result<SolverDiagnostics>
 where
@@ -127,23 +154,26 @@ where
 {
     let start = Instant::now();
     let n = x.len();
-    let mut image = vec![0.0; n];
-    let mut prev_delta = vec![0.0; n];
+    image.clear();
+    image.resize(n, 0.0);
+    prev_delta.clear();
+    prev_delta.resize(n, 0.0);
+    let trace_reserve = opts.trace_cap.min(opts.max_iterations);
     let mut alpha = opts
         .damping_initial
         .clamp(opts.damping_min.max(f64::MIN_POSITIVE), 1.0);
     // lt-lint: allow(LT04, seed: any finite first residual must compare as an improvement)
     let mut prev_residual = f64::INFINITY;
     let mut improve_streak = 0usize;
-    let mut residual_trace = Vec::new();
-    let mut damping_trace = Vec::new();
+    let mut residual_trace = Vec::with_capacity(trace_reserve);
+    let mut damping_trace = Vec::with_capacity(trace_reserve);
     let mut extrapolations = 0usize;
     // lt-lint: allow(LT04, sentinel meaning "no iteration ran yet"; overwritten or reported in NoConvergence)
     let mut residual = f64::INFINITY;
     let mut max_index = None;
 
     for iteration in 1..=opts.max_iterations {
-        step(x, &mut image)?;
+        step(x, image)?;
 
         // Residual (max norm), its argmax, and the oscillation signal: the
         // inner product of successive update directions turning negative
@@ -177,7 +207,7 @@ where
 
         if residual < opts.tolerance {
             // Adopt the image: identities that hold for G(x) hold exactly.
-            x.copy_from_slice(&image);
+            x.copy_from_slice(image);
             return Ok(SolverDiagnostics {
                 solver,
                 iterations: iteration,

@@ -15,7 +15,8 @@
 //! refinement. Used here for the solver-accuracy ablation.
 
 use crate::error::{LtError, Result};
-use crate::mva::fixed_point::solve_fixed_point;
+use crate::mva::fixed_point::solve_fixed_point_in;
+use crate::mva::workspace::{usable_warm, Scratch, SolverWorkspace};
 use crate::mva::{MvaSolution, SolverOptions};
 use crate::num::exactly_zero;
 use crate::qn::{ClosedNetwork, Discipline};
@@ -30,74 +31,157 @@ pub fn solve(net: &ClosedNetwork) -> Result<MvaSolution> {
 
 /// The model tables flattened for the inner fixed point: nested
 /// `Vec<Vec<_>>` indexing in the hot loop costs more than the arithmetic.
-struct Flat {
+/// The slices borrow the workspace's table buffers.
+struct Flat<'a> {
     c: usize,
     m: usize,
     /// `visits[i * m + st]`.
-    visits: Vec<f64>,
+    visits: &'a [f64],
     /// `service[st]`.
-    service: Vec<f64>,
+    service: &'a [f64],
     /// `queueing[st]`: true for FCFS queueing stations, false for delay.
-    queueing: Vec<bool>,
+    queueing: &'a [bool],
+}
+
+/// How an inner core solve is seeded.
+enum Init<'a> {
+    /// Demand-proportional spread of the population.
+    Cold,
+    /// Copy of a previous flattened solution.
+    Warm(&'a [f64]),
+    /// Copy of a previous solution with one class's row rescaled — used to
+    /// seed the `N − 1_i` reduced-population solves from the full solution.
+    WarmScaled {
+        queue: &'a [f64],
+        class: usize,
+        scale: f64,
+    },
+}
+
+/// The per-solve mutable buffers threaded through every inner core solve,
+/// split out of the [`SolverWorkspace`] once per [`solve_in`] call.
+struct CoreBufs<'a> {
+    state: &'a mut Vec<f64>,
+    image: &'a mut Vec<f64>,
+    prev_delta: &'a mut Vec<f64>,
+    wait: &'a mut Vec<f64>,
+    throughput: &'a mut Vec<f64>,
+    totals: &'a mut Vec<f64>,
+    base: &'a mut Vec<f64>,
 }
 
 /// Solve with explicit convergence controls.
 pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolution> {
+    solve_in(net, opts, None, &mut SolverWorkspace::new())
+}
+
+/// Solve with explicit convergence controls, an optional warm start, and
+/// caller-owned scratch memory.
+///
+/// `warm` is a flattened class-major queue-length guess (`c * m` entries)
+/// seeding the *first* full-population core solve; the outer refinement
+/// sweeps already warm-start their inner solves internally. A guess with
+/// the wrong length or any non-finite/negative entry is ignored in favor
+/// of the cold start; either way the refined answer agrees with a cold
+/// solve within solver tolerance. With a workspace that has seen the
+/// shape, the inner fixed-point loops allocate nothing.
+pub fn solve_in(
+    net: &ClosedNetwork,
+    opts: SolverOptions,
+    warm: Option<&[f64]>,
+    ws: &mut SolverWorkspace,
+) -> Result<MvaSolution> {
     net.validate()?;
     let c = net.n_classes();
     let m = net.n_stations();
     let full: Vec<usize> = net.populations.clone();
 
-    let mut visits = vec![0.0; c * m];
+    let Scratch {
+        state,
+        image,
+        prev_delta,
+        wait,
+        throughput,
+        totals,
+        base,
+        visits,
+        service,
+        queueing,
+        fractions,
+        aux,
+    } = ws.scratch(c, m, true);
+
     for i in 0..c {
         visits[i * m..(i + 1) * m].copy_from_slice(&net.visits[i]);
+    }
+    for (dst, st) in service.iter_mut().zip(&net.stations) {
+        *dst = st.service;
+    }
+    for (dst, st) in queueing.iter_mut().zip(&net.stations) {
+        *dst = st.discipline == Discipline::Queueing;
     }
     let flat = Flat {
         c,
         m,
         visits,
-        service: net.stations.iter().map(|s| s.service).collect(),
-        queueing: net
-            .stations
-            .iter()
-            .map(|s| s.discipline == Discipline::Queueing)
-            .collect(),
+        service,
+        queueing,
+    };
+    let mut bufs = CoreBufs {
+        state,
+        image,
+        prev_delta,
+        wait,
+        throughput,
+        totals,
+        base,
     };
 
-    // Fraction-deviation table `F[(i·C + j)·M + st]`: deviation of class
-    // `j` at station `st` caused by removing one class-`i` customer.
-    let mut fractions = vec![0.0; c * c * m];
-    let mut sol_full = core(&flat, &full, &fractions, opts, None)?;
+    // Fraction-deviation table `F[(i·C + j)·M + st]` (zeroed by `scratch`):
+    // deviation of class `j` at station `st` caused by removing one
+    // class-`i` customer.
+    let first_init = match usable_warm(warm, c * m) {
+        Some(w) => Init::Warm(w),
+        None => Init::Cold,
+    };
+    let mut sol_full = core(&flat, &full, fractions, opts, first_init, &mut bufs)?;
     // Iteration/extrapolation/wall-time totals over *all* inner solves (the
     // full-population one plus every reduced-population one), folded into
     // the final solution's diagnostics at the end.
     let mut spent = sol_full.diagnostics.clone();
 
+    let mut pop_reduced = full.clone();
+    let mut reduced: Vec<Option<MvaSolution>> = Vec::with_capacity(c);
     for _sweep in 0..OUTER_SWEEPS {
         // Warm start every inner solve of this sweep from the current
         // full-population solution — the reduced networks differ by one
-        // customer, so their fixed points are close.
-        let warm_full: Vec<f64> = sol_full.queue.concat();
+        // customer, so their fixed points are close. `aux` keeps that
+        // snapshot while `bufs.state` is overwritten by the inner solves.
+        for (dst, row) in aux.chunks_mut(m).zip(&sol_full.queue) {
+            dst.copy_from_slice(row);
+        }
 
         // Solve each N − 1_i with the current deviation estimates.
-        let mut reduced = Vec::with_capacity(c);
+        reduced.clear();
         for i in 0..c {
             if full[i] == 0 {
                 reduced.push(None);
                 continue;
             }
-            let mut pop = full.clone();
-            pop[i] -= 1;
-            if pop.iter().all(|&n| n == 0) {
+            pop_reduced[i] -= 1;
+            if pop_reduced.iter().all(|&n| n == 0) {
+                pop_reduced[i] += 1;
                 reduced.push(None);
                 continue;
             }
-            let mut warm = warm_full.clone();
-            let scale = pop[i] as f64 / full[i] as f64;
-            for q in &mut warm[i * m..(i + 1) * m] {
-                *q *= scale;
-            }
-            let sol_i = core(&flat, &pop, &fractions, opts, Some(&warm))?;
+            let init = Init::WarmScaled {
+                queue: &aux[..],
+                class: i,
+                scale: pop_reduced[i] as f64 / full[i] as f64,
+            };
+            let sol_i = core(&flat, &pop_reduced, fractions, opts, init, &mut bufs);
+            pop_reduced[i] += 1;
+            let sol_i = sol_i?;
             spent.absorb(&sol_i.diagnostics);
             reduced.push(Some(sol_i));
         }
@@ -123,7 +207,14 @@ pub fn solve_with(net: &ClosedNetwork, opts: SolverOptions) -> Result<MvaSolutio
                 }
             }
         }
-        sol_full = core(&flat, &full, &fractions, opts, Some(&warm_full))?;
+        sol_full = core(
+            &flat,
+            &full,
+            fractions,
+            opts,
+            Init::Warm(&aux[..]),
+            &mut bufs,
+        )?;
         spent.absorb(&sol_full.diagnostics);
     }
     // Keep the final solve's traces/convergence; report cumulative effort.
@@ -147,15 +238,34 @@ fn core(
     pop: &[usize],
     fractions: &[f64],
     opts: SolverOptions,
-    init: Option<&[f64]>,
+    init: Init<'_>,
+    bufs: &mut CoreBufs<'_>,
 ) -> Result<MvaSolution> {
     let (c, m) = (flat.c, flat.m);
+    let CoreBufs {
+        state,
+        image,
+        prev_delta,
+        wait,
+        throughput,
+        totals,
+        base,
+    } = bufs;
 
-    let mut state = match init {
-        Some(warm) => warm.to_vec(),
-        None => {
+    match init {
+        Init::Warm(warm) => state.copy_from_slice(warm),
+        Init::WarmScaled {
+            queue,
+            class,
+            scale,
+        } => {
+            state.copy_from_slice(queue);
+            for q in &mut state[class * m..(class + 1) * m] {
+                *q *= scale;
+            }
+        }
+        Init::Cold => {
             // Cold start: population spread proportionally to demand.
-            let mut state = vec![0.0; c * m];
             for i in 0..c {
                 let demand = |st: usize| flat.visits[i * m + st] * flat.service[st];
                 let total: f64 = (0..m).map(demand).sum();
@@ -168,13 +278,13 @@ fn core(
                     };
                 }
             }
-            state
         }
-    };
+    }
 
     // base[i*m + st]; the δ_ij correction only applies to populated classes,
     // and classes with pop 0 contribute nothing (their queues are 0 too).
-    let mut base = vec![0.0; c * m];
+    // `base` is reused across core solves, so rebuild it from zero.
+    base.iter_mut().for_each(|b| *b = 0.0);
     for i in 0..c {
         for j in 0..c {
             let nj = pop[j] as f64;
@@ -194,72 +304,76 @@ fn core(
         }
     }
 
-    let mut wait = vec![vec![0.0; m]; c];
-    let mut throughput = vec![0.0; c];
-    let mut totals = vec![0.0; m];
-
-    let diagnostics = solve_fixed_point("linearizer", &mut state, &opts, |queue, next| {
-        totals.iter_mut().for_each(|t| *t = 0.0);
-        for i in 0..c {
-            for (t, &v) in totals.iter_mut().zip(&queue[i * m..(i + 1) * m]) {
-                *t += v;
-            }
-        }
-
-        for i in 0..c {
-            if pop[i] == 0 {
-                for st in 0..m {
-                    next[i * m + st] = 0.0;
-                    wait[i][st] = 0.0;
+    let diagnostics = solve_fixed_point_in(
+        "linearizer",
+        state,
+        &opts,
+        image,
+        prev_delta,
+        |queue, next| {
+            totals.iter_mut().for_each(|t| *t = 0.0);
+            for i in 0..c {
+                for (t, &v) in totals.iter_mut().zip(&queue[i * m..(i + 1) * m]) {
+                    *t += v;
                 }
-                throughput[i] = 0.0;
-                continue;
             }
-            let row = &queue[i * m..(i + 1) * m];
-            let base_i = &base[i * m..(i + 1) * m];
-            let visits_i = &flat.visits[i * m..(i + 1) * m];
-            let inv_ni = 1.0 / pop[i] as f64;
-            let mut cycle = 0.0;
-            let wait_i = &mut wait[i];
-            for st in 0..m {
-                let e = visits_i[st];
-                if exactly_zero(e) {
-                    wait_i[st] = 0.0;
+
+            for i in 0..c {
+                if pop[i] == 0 {
+                    for st in 0..m {
+                        next[i * m + st] = 0.0;
+                        wait[i * m + st] = 0.0;
+                    }
+                    throughput[i] = 0.0;
                     continue;
                 }
-                let s = flat.service[st];
-                let w = if flat.queueing[st] {
-                    let seen = totals[st] - row[st] * inv_ni + base_i[st];
-                    s * (1.0 + seen.max(0.0))
-                } else {
-                    s
-                };
-                wait_i[st] = w;
-                cycle += e * w;
+                let row = &queue[i * m..(i + 1) * m];
+                let base_i = &base[i * m..(i + 1) * m];
+                let visits_i = &flat.visits[i * m..(i + 1) * m];
+                let inv_ni = 1.0 / pop[i] as f64;
+                let mut cycle = 0.0;
+                let wait_i = &mut wait[i * m..(i + 1) * m];
+                for st in 0..m {
+                    let e = visits_i[st];
+                    if exactly_zero(e) {
+                        wait_i[st] = 0.0;
+                        continue;
+                    }
+                    let s = flat.service[st];
+                    let w = if flat.queueing[st] {
+                        let seen = totals[st] - row[st] * inv_ni + base_i[st];
+                        s * (1.0 + seen.max(0.0))
+                    } else {
+                        s
+                    };
+                    wait_i[st] = w;
+                    cycle += e * w;
+                }
+                if cycle <= 0.0 {
+                    return Err(LtError::DegenerateModel(format!(
+                        "linearizer: class {i} has zero total service demand \
+                         (cycle time 0); its throughput is undefined"
+                    )));
+                }
+                let lam = pop[i] as f64 / cycle;
+                throughput[i] = lam;
+                for st in 0..m {
+                    let e = visits_i[st];
+                    next[i * m + st] = if exactly_zero(e) {
+                        0.0
+                    } else {
+                        lam * e * wait_i[st]
+                    };
+                }
             }
-            if cycle <= 0.0 {
-                return Err(LtError::DegenerateModel(format!(
-                    "linearizer: class {i} has zero total service demand \
-                     (cycle time 0); its throughput is undefined"
-                )));
-            }
-            let lam = pop[i] as f64 / cycle;
-            throughput[i] = lam;
-            for st in 0..m {
-                let e = visits_i[st];
-                next[i * m + st] = if exactly_zero(e) {
-                    0.0
-                } else {
-                    lam * e * wait_i[st]
-                };
-            }
-        }
-        Ok(())
-    })?;
+            Ok(())
+        },
+    )?;
 
     let queue: Vec<Vec<f64>> = state.chunks(m).map(|row| row.to_vec()).collect();
+    let wait: Vec<Vec<f64>> = wait.chunks(m).map(|row| row.to_vec()).collect();
     Ok(MvaSolution {
-        throughput,
+        throughput: throughput.clone(),
         wait,
         queue,
         iterations: diagnostics.iterations,

@@ -29,8 +29,10 @@ pub mod linearizer;
 pub mod load_dependent;
 pub mod priority;
 pub mod symmetric;
+pub mod workspace;
 
 pub use fixed_point::SolverDiagnostics;
+pub use workspace::SolverWorkspace;
 
 use crate::qn::ClosedNetwork;
 
@@ -143,27 +145,34 @@ impl MvaSolution {
 /// service demand there (uniform over visited stations if all demands are
 /// zero).
 pub(crate) fn initial_queue(net: &ClosedNetwork) -> Vec<Vec<f64>> {
+    let m = net.n_stations();
+    let mut flat = vec![0.0; net.n_classes() * m];
+    initial_queue_flat(net, &mut flat);
+    flat.chunks(m).map(|row| row.to_vec()).collect()
+}
+
+/// [`initial_queue`] written into a caller-provided flat `c * m` buffer —
+/// the allocation-free form used by the workspace-backed solver entries.
+pub(crate) fn initial_queue_flat(net: &ClosedNetwork, out: &mut [f64]) {
     let c = net.n_classes();
     let m = net.n_stations();
-    let mut q = vec![vec![0.0; m]; c];
-    // Index loops: `i`/`s` address several parallel arrays at once.
-    #[allow(clippy::needless_range_loop)]
+    debug_assert_eq!(out.len(), c * m);
     for i in 0..c {
+        let row = &mut out[i * m..(i + 1) * m];
         let pop = net.populations[i] as f64;
         let total_demand: f64 = (0..m).map(|s| net.demand(i, s)).sum();
         if total_demand > 0.0 {
-            for s in 0..m {
-                q[i][s] = pop * net.demand(i, s) / total_demand;
+            for (s, q) in row.iter_mut().enumerate() {
+                *q = pop * net.demand(i, s) / total_demand;
             }
         } else {
-            let visited: Vec<usize> = (0..m).filter(|&s| net.visits[i][s] > 0.0).collect();
-            let share = pop / visited.len() as f64;
-            for s in visited {
-                q[i][s] = share;
+            let visited = net.visits[i].iter().filter(|&&v| v > 0.0).count();
+            let share = pop / visited as f64;
+            for (s, q) in row.iter_mut().enumerate() {
+                *q = if net.visits[i][s] > 0.0 { share } else { 0.0 };
             }
         }
     }
-    q
 }
 
 #[cfg(test)]

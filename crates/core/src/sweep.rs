@@ -14,9 +14,30 @@
 //!   `latencyd` sweep endpoint uses this mode.
 //!
 //! Both preserve item order in the output.
+//!
+//! [`solve_sweep`] layers warm-start propagation on top: each worker
+//! thread carries a [`SweepSeed`] and a [`SolverWorkspace`], so every
+//! point after a worker's first is seeded from the previous solution on
+//! that worker and solved through reused scratch memory. Results match
+//! cold solves within solver tolerance regardless of schedule or thread
+//! count (asserted in `tests/warm_sweep.rs`).
+//!
+//! The thread count can be pinned with the `LT_SWEEP_THREADS` environment
+//! variable (useful for reproducible benches on shared CI runners); it is
+//! clamped to `[1, items.len()]` and invalid values fall back to
+//! [`std::thread::available_parallelism`].
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::analysis::{solve_seeded, SolverChoice, SweepSeed};
+use crate::error::Result;
+use crate::metrics::PerformanceReport;
+use crate::mva::{SolverOptions, SolverWorkspace};
+use crate::params::SystemConfig;
+
+/// Environment variable overriding the sweep thread count.
+pub const SWEEP_THREADS_ENV: &str = "LT_SWEEP_THREADS";
 
 /// How [`parallel_map_with`] assigns items to threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,22 +62,83 @@ where
 }
 
 /// Apply `f` to every item, in parallel with the chosen schedule,
-/// preserving order.
+/// preserving order. Honors the `LT_SWEEP_THREADS` override.
 pub fn parallel_map_with<I, T, F>(items: &[I], schedule: Schedule, f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
+    parallel_map_with_state(items, schedule, || (), move |item, ()| f(item))
+}
+
+/// [`parallel_map_with`] with per-thread mutable state: each worker thread
+/// builds one `S` via `init` and threads it through every item it
+/// processes, in claim order. This is the substrate for warm-start
+/// propagation — the state carries the previous solution (and reusable
+/// solver scratch) from one sweep point to the next on the same worker.
+pub fn parallel_map_with_state<I, T, S, G, F>(
+    items: &[I],
+    schedule: Schedule,
+    init: G,
+    f: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&I, &mut S) -> T + Sync,
+{
+    run_sweep(items, schedule, None, init, f)
+}
+
+/// Parse an `LT_SWEEP_THREADS` value: a positive integer, else `None`.
+fn parse_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&t| t > 0)
+}
+
+/// Resolve the worker-thread count: an explicit request wins, then a valid
+/// `LT_SWEEP_THREADS` value, then `fallback` (the machine parallelism);
+/// the result is clamped to `[1, items]`.
+fn threads_for(
+    requested: Option<usize>,
+    raw_env: Option<&str>,
+    items: usize,
+    fallback: usize,
+) -> usize {
+    requested
+        .or_else(|| raw_env.and_then(parse_threads))
+        .unwrap_or(fallback)
+        .clamp(1, items.max(1))
+}
+
+/// The shared sweep executor behind [`parallel_map_with_state`] and
+/// [`solve_sweep`]. `threads` pins the worker count (tests and benches);
+/// `None` defers to `LT_SWEEP_THREADS` / available parallelism.
+fn run_sweep<I, T, S, G, F>(
+    items: &[I],
+    schedule: Schedule,
+    threads: Option<usize>,
+    init: G,
+    f: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&I, &mut S) -> T + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
+    let fallback = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
+        .unwrap_or(1);
+    let env = std::env::var(SWEEP_THREADS_ENV).ok();
+    let threads = threads_for(threads, env.as_deref(), items.len(), fallback);
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(item, &mut state)).collect();
     }
     match schedule {
         Schedule::Static => {
@@ -65,10 +147,12 @@ where
             out.resize_with(items.len(), || None);
             std::thread::scope(|scope| {
                 let f = &f;
+                let init = &init;
                 for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
                     scope.spawn(move || {
+                        let mut state = init();
                         for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                            *slot = Some(f(item));
+                            *slot = Some(f(item, &mut state));
                         }
                     });
                 }
@@ -87,17 +171,19 @@ where
             out.resize_with(items.len(), || None);
             let per_thread: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
                 let f = &f;
+                let init = &init;
                 let next = &next;
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(move || {
+                            let mut state = init();
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 if i >= items.len() {
                                     break;
                                 }
-                                local.push((i, f(&items[i])));
+                                local.push((i, f(&items[i], &mut state)));
                             }
                             local
                         })
@@ -118,6 +204,95 @@ where
                 .collect()
         }
     }
+}
+
+/// Controls for [`solve_sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Solver run at every point.
+    pub choice: SolverChoice,
+    /// Convergence controls forwarded to the solver.
+    pub solver: SolverOptions,
+    /// How points are assigned to worker threads.
+    pub schedule: Schedule,
+    /// Warm-start each point from the previous solution on the same
+    /// worker. `false` forces every point to solve cold (the baseline the
+    /// cold-vs-warm benches and tests compare against).
+    pub warm: bool,
+    /// Pin the worker-thread count (tests/benches). `None` defers to
+    /// `LT_SWEEP_THREADS`, then to the machine parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            choice: SolverChoice::Auto,
+            solver: SolverOptions::default(),
+            schedule: Schedule::Dynamic,
+            warm: true,
+            threads: None,
+        }
+    }
+}
+
+/// What a [`solve_sweep`] run did, beyond the per-point reports.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-point results, in input order.
+    pub reports: Vec<Result<PerformanceReport>>,
+    /// Points that solved from a warm seed.
+    pub warm_hits: u64,
+    /// Points that solved cold.
+    pub cold_solves: u64,
+    /// Total solver iterations over all successful points — the
+    /// convergence-cost figure the warm-vs-cold acceptance test compares.
+    pub total_iterations: u64,
+}
+
+/// Solve every configuration of a sweep in parallel with per-worker
+/// warm-start propagation and workspace reuse.
+///
+/// Each worker thread owns a ([`SweepSeed`], [`SolverWorkspace`]) pair:
+/// points solved consecutively on a worker seed each other (in claim
+/// order, so [`Schedule::Dynamic`] feeds warm starts through the dynamic
+/// schedule too), and all scratch memory is reused across the worker's
+/// points. Warm starts never change which answers come back — only how
+/// many iterations they cost — so the reports agree with a cold sweep
+/// within solver tolerance for any schedule and thread count.
+pub fn solve_sweep(cfgs: &[SystemConfig], opts: &SweepOptions) -> SweepOutcome {
+    let per = run_sweep(
+        cfgs,
+        opts.schedule,
+        opts.threads,
+        || (SweepSeed::new(), SolverWorkspace::new()),
+        |cfg, (seed, ws)| {
+            if !opts.warm {
+                seed.invalidate();
+            }
+            let before = (seed.warm_hits, seed.cold_solves);
+            let rep = solve_seeded(cfg, opts.choice, opts.solver, seed, ws);
+            (
+                (seed.warm_hits - before.0, seed.cold_solves - before.1),
+                rep,
+            )
+        },
+    );
+    let mut outcome = SweepOutcome {
+        reports: Vec::with_capacity(per.len()),
+        warm_hits: 0,
+        cold_solves: 0,
+        total_iterations: 0,
+    };
+    for ((warm, cold), rep) in per {
+        outcome.warm_hits += warm;
+        outcome.cold_solves += cold;
+        if let Ok(r) = &rep {
+            outcome.total_iterations += r.iterations as u64;
+        }
+        outcome.reports.push(rep);
+    }
+    outcome
 }
 
 /// Cartesian product of two parameter axes, row-major (`a` outer).
@@ -226,6 +401,90 @@ mod tests {
         let dynamic = parallel_map_with(&cfgs, Schedule::Dynamic, |c| solve(c).unwrap().u_p);
         let seq: Vec<_> = cfgs.iter().map(|c| solve(c).unwrap().u_p).collect();
         assert_eq!(dynamic, seq);
+    }
+
+    #[test]
+    fn thread_override_parses_clamps_and_falls_back() {
+        // Valid values win over the fallback and are clamped to the item
+        // count; invalid values are ignored.
+        assert_eq!(threads_for(None, Some("3"), 100, 8), 3);
+        assert_eq!(threads_for(None, Some(" 2 "), 100, 8), 2, "whitespace ok");
+        assert_eq!(threads_for(None, Some("64"), 10, 8), 10, "clamped to items");
+        assert_eq!(threads_for(None, Some("1"), 0, 8), 1, "empty sweep floor");
+        for invalid in ["0", "-2", "abc", "", "1.5"] {
+            assert_eq!(threads_for(None, Some(invalid), 100, 8), 8, "{invalid:?}");
+        }
+        assert_eq!(threads_for(None, None, 100, 8), 8, "unset env");
+        // An explicit request beats both the env and the fallback.
+        assert_eq!(threads_for(Some(5), Some("3"), 100, 8), 5);
+        assert_eq!(threads_for(Some(500), None, 10, 8), 10, "request clamped");
+    }
+
+    #[test]
+    fn env_override_is_read_by_the_executor() {
+        // Count distinct per-thread states to observe the worker count.
+        use std::collections::HashSet;
+        use std::sync::atomic::AtomicUsize;
+        std::env::set_var(SWEEP_THREADS_ENV, "2");
+        let items: Vec<u32> = (0..64).collect();
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map_with_state(
+            &items,
+            Schedule::Dynamic,
+            || counter.fetch_add(1, Ordering::Relaxed),
+            |&x, state| (x, *state),
+        );
+        std::env::remove_var(SWEEP_THREADS_ENV);
+        let states: HashSet<usize> = out.iter().map(|&(_, s)| s).collect();
+        assert!(states.len() <= 2, "LT_SWEEP_THREADS=2 but saw {states:?}");
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn per_thread_state_follows_claim_order() {
+        // Single-threaded: the state must visit items in order, proving the
+        // worker threads its state through consecutive items.
+        let items: Vec<usize> = (0..20).collect();
+        let out =
+            parallel_map_with_state(&items, Schedule::Static, Vec::<usize>::new, |&x, seen| {
+                seen.push(x);
+                seen.len()
+            });
+        // With any partitioning, each item's position within its worker's
+        // claim sequence is monotone along the chunk.
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|&n| n >= 1));
+    }
+
+    #[test]
+    fn solve_sweep_warm_matches_cold() {
+        use crate::params::SystemConfig;
+        let cfgs: Vec<_> = (1..=6)
+            .map(|n| SystemConfig::paper_default().with_n_threads(n))
+            .collect();
+        let cold = solve_sweep(
+            &cfgs,
+            &SweepOptions {
+                warm: false,
+                threads: Some(1),
+                ..SweepOptions::default()
+            },
+        );
+        let warm = solve_sweep(
+            &cfgs,
+            &SweepOptions {
+                warm: true,
+                threads: Some(1),
+                ..SweepOptions::default()
+            },
+        );
+        assert_eq!(cold.warm_hits, 0);
+        assert_eq!(cold.cold_solves, 6);
+        assert!(warm.warm_hits >= 5, "warm hits: {}", warm.warm_hits);
+        for (c, w) in cold.reports.iter().zip(&warm.reports) {
+            let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+            assert!((c.u_p - w.u_p).abs() < 1e-6, "{} vs {}", c.u_p, w.u_p);
+        }
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //! * [`fault`] — seeded, deterministic **fault injection** (latency,
 //!   worker panics, forced solver failure, cache corruption, connection
 //!   drops) for the chaos suite; off (and free) in production.
+//! * [`workspace`] — per-worker **solver state pooling**: each pool
+//!   thread keeps a [`lt_core::SolverWorkspace`] and warm-start seed
+//!   between jobs, so repeated solves of a model shape allocate nothing
+//!   and sweep batches warm-start consecutive points.
 //!
 //! [`http`] is the transport (a hand-rolled HTTP/1.1 subset on
 //! `TcpListener` — the service adds no dependencies), [`api`] the request
@@ -72,6 +76,7 @@ pub mod metrics;
 pub mod pool;
 pub mod server;
 pub mod sync;
+pub mod workspace;
 
 pub use api::ApiError;
 pub use breaker::{BreakerDecision, BreakerState, CircuitBreaker};
@@ -80,3 +85,4 @@ pub use fault::{FaultDecision, FaultPlan, FaultSpec};
 pub use metrics::{LatencySummary, ServiceMetrics};
 pub use pool::{BatchError, WorkerPool};
 pub use server::{Server, ServerConfig, ServerHandle, ServiceState};
+pub use workspace::WorkspacePool;

@@ -116,6 +116,11 @@ pub struct ServiceMetrics {
     breaker_transitions: [AtomicU64; 3],
     /// Successful responses by fidelity, indexed in `Fidelity::ALL` order.
     responses_by_fidelity: [AtomicU64; Fidelity::ALL.len()],
+    /// Solves that started from a usable warm-start seed.
+    warm_hits: AtomicU64,
+    /// Solves that started cold (fresh seed, shape mismatch, or a warm
+    /// attempt retried cold).
+    cold_solves: AtomicU64,
 }
 
 thread_local! {
@@ -141,6 +146,8 @@ impl ServiceMetrics {
             retries: AtomicU64::new(0),
             breaker_transitions: std::array::from_fn(|_| AtomicU64::new(0)),
             responses_by_fidelity: std::array::from_fn(|_| AtomicU64::new(0)),
+            warm_hits: AtomicU64::new(0),
+            cold_solves: AtomicU64::new(0),
         }
     }
 
@@ -187,6 +194,27 @@ impl ServiceMetrics {
     /// Transitions into `state` so far (across all solver tiers).
     pub fn breaker_transitions_into(&self, state: BreakerState) -> u64 {
         self.breaker_transitions[Self::breaker_index(state)].load(Ordering::Relaxed)
+    }
+
+    /// Add a solve attempt's warm/cold counter deltas (one call per
+    /// ladder run; a single run can contain several rung solves).
+    pub fn record_solver_activity(&self, warm: u64, cold: u64) {
+        if warm > 0 {
+            self.warm_hits.fetch_add(warm, Ordering::Relaxed);
+        }
+        if cold > 0 {
+            self.cold_solves.fetch_add(cold, Ordering::Relaxed);
+        }
+    }
+
+    /// Solves that started from a usable warm seed so far.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Solves that started cold so far.
+    pub fn cold_solves(&self) -> u64 {
+        self.cold_solves.load(Ordering::Relaxed)
     }
 
     /// Count one successful response of the given fidelity.
@@ -490,6 +518,16 @@ mod tests {
         assert_eq!(m.errors_of_kind("overloaded"), 1);
         assert_eq!(m.errors_of_kind("worker_lost"), 1);
         assert_eq!(m.errors_of_kind("internal"), 0, "no fold for known kinds");
+    }
+
+    #[test]
+    fn solver_activity_accumulates_deltas() {
+        let m = ServiceMetrics::new();
+        m.record_solver_activity(0, 1);
+        m.record_solver_activity(3, 0);
+        m.record_solver_activity(2, 2);
+        assert_eq!(m.warm_hits(), 5);
+        assert_eq!(m.cold_solves(), 3);
     }
 
     #[test]

@@ -269,6 +269,100 @@ fn hotspot_configs_are_sane() {
     }
 }
 
+/// Flatten a solution's class-by-station queue matrix into the layout
+/// the solvers accept as a warm start.
+fn flatten_queue(sol: &lt_core::mva::MvaSolution) -> Vec<f64> {
+    sol.queue.iter().flatten().copied().collect()
+}
+
+/// Warm starts are hints, not correctness inputs: seeding any iterative
+/// solver with a *neighboring* configuration's solution (one more thread
+/// per processor) must reproduce the cold answer within solver tolerance,
+/// across randomized `n_t`, `R`, `L`, `S`, and `p_remote`.
+#[test]
+fn warm_start_agrees_with_cold_for_every_solver() {
+    use lt_core::mva::{amva, linearizer, symmetric, SolverOptions};
+    for_each_config(0x5EED, 32, |cfg| {
+        let mms = build_network(cfg).unwrap();
+        let neighbor = build_network(&cfg.with_n_threads(cfg.workload.n_threads + 1)).unwrap();
+        let opts = SolverOptions::default();
+        let mut ws = SolverWorkspace::new();
+
+        let amva_seed = flatten_queue(&amva::solve_in(&neighbor.net, opts, None, &mut ws).unwrap());
+        let cold = amva::solve_in(&mms.net, opts, None, &mut ws).unwrap();
+        let warm = amva::solve_in(&mms.net, opts, Some(&amva_seed), &mut ws).unwrap();
+        for (x, y) in cold.throughput.iter().zip(&warm.throughput) {
+            assert!((x - y).abs() < 1e-6, "amva: cold {x} vs warm {y}");
+        }
+
+        let cold = linearizer::solve_in(&mms.net, opts, None, &mut ws).unwrap();
+        let warm = linearizer::solve_in(&mms.net, opts, Some(&amva_seed), &mut ws).unwrap();
+        for (x, y) in cold.throughput.iter().zip(&warm.throughput) {
+            assert!((x - y).abs() < 1e-6, "linearizer: cold {x} vs warm {y}");
+        }
+
+        let sym_seed = flatten_queue(&symmetric::solve_in(&neighbor, opts, None, &mut ws).unwrap());
+        let cold = symmetric::solve_in(&mms, opts, None, &mut ws).unwrap();
+        let warm = symmetric::solve_in(&mms, opts, Some(&sym_seed), &mut ws).unwrap();
+        for (x, y) in cold.throughput.iter().zip(&warm.throughput) {
+            assert!((x - y).abs() < 1e-6, "symmetric: cold {x} vs warm {y}");
+        }
+
+        // A nonsense guess (wrong length, negative, non-finite) is
+        // ignored, never an error or a different answer.
+        for bad in [
+            vec![1.0; 3],
+            vec![-1.0; mms.net.n_classes() * mms.net.n_stations()],
+            vec![f64::NAN; mms.net.n_classes() * mms.net.n_stations()],
+        ] {
+            let sol = amva::solve_in(&mms.net, opts, Some(&bad), &mut ws).unwrap();
+            for (x, y) in cold.throughput.iter().zip(&sol.throughput) {
+                assert!((x - y).abs() < 1e-6, "bad warm hint changed the answer");
+            }
+        }
+    });
+}
+
+/// One [`SolverWorkspace`] reused across dissimilar model shapes and
+/// solvers never panics, never leaks state between solves (answers are
+/// bitwise identical to fresh-workspace solves), and stops allocating
+/// once it has seen every shape.
+#[test]
+fn workspace_reuse_across_shapes_is_clean() {
+    use lt_core::mva::{amva, linearizer, symmetric, SolverOptions};
+    let mut gen = ConfigGen::new(0xCAFE);
+    // Dissimilar shapes: station count and populations both vary.
+    let shapes: Vec<SystemConfig> = (0..10).map(|_| gen.next()).collect();
+    let opts = SolverOptions::default();
+    let mut shared = SolverWorkspace::new();
+
+    let check_pass = |shared: &mut SolverWorkspace| {
+        for cfg in &shapes {
+            let mms = build_network(cfg).unwrap();
+            let a = amva::solve_in(&mms.net, opts, None, shared).unwrap();
+            let b = amva::solve_in(&mms.net, opts, None, &mut SolverWorkspace::new()).unwrap();
+            assert_eq!(a.throughput, b.throughput, "amva leaked state: {cfg:?}");
+            let a = linearizer::solve_in(&mms.net, opts, None, shared).unwrap();
+            let b =
+                linearizer::solve_in(&mms.net, opts, None, &mut SolverWorkspace::new()).unwrap();
+            assert_eq!(a.throughput, b.throughput, "linearizer leaked: {cfg:?}");
+            let a = symmetric::solve_in(&mms, opts, None, shared).unwrap();
+            let b = symmetric::solve_in(&mms, opts, None, &mut SolverWorkspace::new()).unwrap();
+            assert_eq!(a.throughput, b.throughput, "symmetric leaked: {cfg:?}");
+        }
+    };
+
+    check_pass(&mut shared);
+    let after_first = shared.allocations();
+    assert!(after_first > 0, "first pass must have grown the workspace");
+    check_pass(&mut shared);
+    assert_eq!(
+        shared.allocations(),
+        after_first,
+        "revisiting known shapes must not allocate"
+    );
+}
+
 /// The Petri-net engine conserves tokens for arbitrary closed MMS
 /// configurations (short run).
 #[test]
